@@ -1,0 +1,22 @@
+//! # basm-analysis
+//!
+//! Embedding analysis behind the paper's visualization figures:
+//!
+//! * exact **t-SNE** with perplexity calibration (Fig. 10/11),
+//! * **PCA** pre-reduction,
+//! * **silhouette score** — the quantitative version of "more convergent
+//!   within the class, more dispersed among the classes",
+//! * text **heatmaps / scatter plots / bar charts** standing in for the
+//!   paper's figure panels, plus CSV output for real plotting.
+
+pub mod pca;
+pub mod reliability;
+pub mod render;
+pub mod silhouette;
+pub mod tsne;
+
+pub use pca::{pca, Points};
+pub use reliability::{expected_calibration_error, reliability_diagram, CalibrationBucket};
+pub use render::{dual_bars, heatmap, scatter, to_csv};
+pub use silhouette::silhouette;
+pub use tsne::{tsne, TsneConfig};

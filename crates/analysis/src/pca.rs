@@ -1,0 +1,183 @@
+//! Principal component analysis via power iteration with deflation.
+//!
+//! Used to pre-reduce embeddings before the exact t-SNE (the standard
+//! pipeline) and as a cheap standalone projection.
+
+/// Row-major data matrix wrapper for the analysis crate.
+#[derive(Debug, Clone)]
+pub struct Points {
+    data: Vec<f32>,
+    n: usize,
+    d: usize,
+}
+
+impl Points {
+    /// Wrap `n x d` row-major data.
+    pub fn new(data: Vec<f32>, n: usize, d: usize) -> Self {
+        assert_eq!(data.len(), n * d, "Points: buffer size mismatch");
+        Self { data, n, d }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// The `i`-th point.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.d..(i + 1) * self.d]
+    }
+}
+
+/// Project `points` onto the top `k` principal components.
+///
+/// Power iteration with Gram-Schmidt deflation on the (implicit) covariance;
+/// adequate for visualization purposes.
+pub fn pca(points: &Points, k: usize, iterations: usize) -> Points {
+    let (n, d) = (points.len(), points.dim());
+    assert!(k >= 1 && k <= d, "pca: k {k} out of 1..={d}");
+    if n == 0 {
+        return Points::new(Vec::new(), 0, k);
+    }
+    // Center.
+    let mut mean = vec![0.0f64; d];
+    for i in 0..n {
+        for (m, &x) in mean.iter_mut().zip(points.row(i).iter()) {
+            *m += x as f64;
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f64;
+    }
+    let centered: Vec<f32> = (0..n)
+        .flat_map(|i| {
+            points
+                .row(i)
+                .iter()
+                .zip(mean.iter())
+                .map(|(&x, &m)| x - m as f32)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let x = Points::new(centered, n, d);
+
+    let mut components: Vec<Vec<f32>> = Vec::with_capacity(k);
+    let mut seed = 0x9E37u64;
+    for _ in 0..k {
+        // Deterministic pseudo-random start vector.
+        let mut v: Vec<f32> = (0..d)
+            .map(|_| {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((seed >> 33) as f32 / u32::MAX as f32) - 0.5
+            })
+            .collect();
+        normalize(&mut v);
+        for _ in 0..iterations {
+            // w = Covariance * v  (computed as Xᵀ (X v) / n).
+            let mut xv = vec![0.0f32; n];
+            for i in 0..n {
+                xv[i] = dot(x.row(i), &v);
+            }
+            let mut w = vec![0.0f32; d];
+            for i in 0..n {
+                let s = xv[i];
+                for (wj, &xj) in w.iter_mut().zip(x.row(i).iter()) {
+                    *wj += s * xj;
+                }
+            }
+            // Deflate previously found components.
+            for c in &components {
+                let proj = dot(&w, c);
+                for (wj, &cj) in w.iter_mut().zip(c.iter()) {
+                    *wj -= proj * cj;
+                }
+            }
+            if normalize(&mut w) < 1e-12 {
+                break;
+            }
+            v = w;
+        }
+        components.push(v);
+    }
+
+    let mut out = Vec::with_capacity(n * k);
+    for i in 0..n {
+        for c in &components {
+            out.push(dot(x.row(i), c));
+        }
+    }
+    Points::new(out, n, k)
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+fn normalize(v: &mut [f32]) -> f32 {
+    let norm = v.iter().map(|&x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_dominant_direction() {
+        // Points spread along (1, 1, 0) with small noise elsewhere.
+        let n = 200;
+        let mut data = Vec::new();
+        for i in 0..n {
+            let t = (i as f32 / n as f32 - 0.5) * 10.0;
+            data.extend_from_slice(&[t, t + 0.01 * (i as f32).sin(), 0.02 * (i as f32).cos()]);
+        }
+        let p = pca(&Points::new(data, n, 3), 1, 50);
+        assert_eq!(p.dim(), 1);
+        // The projection should span the full range ~ sqrt(2)*10.
+        let min = (0..n).map(|i| p.row(i)[0]).fold(f32::MAX, f32::min);
+        let max = (0..n).map(|i| p.row(i)[0]).fold(f32::MIN, f32::max);
+        assert!((max - min) > 12.0, "spread {}", max - min);
+    }
+
+    #[test]
+    fn components_capture_more_variance_in_order() {
+        // Anisotropic blob: variance 9 along axis 0, 1 along axis 1, 0.01 axis 2.
+        let mut data = Vec::new();
+        let mut s = 1u64;
+        let mut rnd = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) as f32 / u32::MAX as f32) - 0.5
+        };
+        let n = 500;
+        for _ in 0..n {
+            data.extend_from_slice(&[6.0 * rnd(), 2.0 * rnd(), 0.2 * rnd()]);
+        }
+        let p = pca(&Points::new(data, n, 3), 2, 60);
+        let var = |k: usize| -> f32 {
+            let m: f32 = (0..n).map(|i| p.row(i)[k]).sum::<f32>() / n as f32;
+            (0..n).map(|i| (p.row(i)[k] - m).powi(2)).sum::<f32>() / n as f32
+        };
+        assert!(var(0) > var(1), "{} vs {}", var(0), var(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn k_larger_than_dim_panics() {
+        pca(&Points::new(vec![0.0; 6], 2, 3), 4, 10);
+    }
+}

@@ -1,0 +1,171 @@
+//! Text rendering: heatmaps (Fig. 8/9), ASCII scatter plots (Fig. 10/11) and
+//! bar charts (Fig. 2/6/12) — the terminal stands in for the paper's figure
+//! panels, and CSV escapes hatch for real plotting.
+
+use crate::pca::Points;
+
+/// Render a labeled matrix as a text heatmap with the actual values.
+pub fn heatmap(
+    title: &str,
+    row_labels: &[String],
+    col_labels: &[String],
+    values: &[Vec<f64>],
+) -> String {
+    assert_eq!(values.len(), row_labels.len(), "heatmap: row count mismatch");
+    let width = col_labels.iter().map(|l| l.len()).max().unwrap_or(6).max(6);
+    let row_w = row_labels.iter().map(|l| l.len()).max().unwrap_or(4);
+    let lo = values.iter().flatten().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().flatten().copied().fold(f64::NEG_INFINITY, f64::max);
+    let shades = [' ', '░', '▒', '▓', '█'];
+    let mut out = format!("{title}\n{:row_w$} ", "");
+    for c in col_labels {
+        out.push_str(&format!("{c:>width$} "));
+    }
+    out.push('\n');
+    for (r, row) in values.iter().enumerate() {
+        assert_eq!(row.len(), col_labels.len(), "heatmap: col count mismatch");
+        out.push_str(&format!("{:row_w$} ", row_labels[r]));
+        for &v in row {
+            let t = if hi > lo { (v - lo) / (hi - lo) } else { 0.5 };
+            let shade = shades[((t * 4.0).round() as usize).min(4)];
+            out.push_str(&format!("{shade}{v:>w$.3} ", w = width - 1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render labeled 2-D points as an ASCII scatter plot; each cluster gets its
+/// own glyph.
+pub fn scatter(title: &str, points: &Points, labels: &[u32], rows: usize, cols: usize) -> String {
+    assert_eq!(points.dim(), 2, "scatter: need 2-D points");
+    assert_eq!(points.len(), labels.len());
+    let glyphs = ['o', 'x', '+', '*', '#', '@', '%', '&'];
+    let mut grid = vec![vec![' '; cols]; rows];
+    if !points.is_empty() {
+        let (mut x0, mut x1) = (f32::MAX, f32::MIN);
+        let (mut y0, mut y1) = (f32::MAX, f32::MIN);
+        for i in 0..points.len() {
+            let p = points.row(i);
+            x0 = x0.min(p[0]);
+            x1 = x1.max(p[0]);
+            y0 = y0.min(p[1]);
+            y1 = y1.max(p[1]);
+        }
+        let sx = if x1 > x0 { (cols - 1) as f32 / (x1 - x0) } else { 0.0 };
+        let sy = if y1 > y0 { (rows - 1) as f32 / (y1 - y0) } else { 0.0 };
+        for i in 0..points.len() {
+            let p = points.row(i);
+            let c = ((p[0] - x0) * sx) as usize;
+            let r = ((p[1] - y0) * sy) as usize;
+            grid[rows - 1 - r.min(rows - 1)][c.min(cols - 1)] =
+                glyphs[labels[i] as usize % glyphs.len()];
+        }
+    }
+    let mut out = format!("{title}\n");
+    out.push_str(&format!("+{}+\n", "-".repeat(cols)));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out.push_str(&format!("+{}+\n", "-".repeat(cols)));
+    out
+}
+
+/// Render a two-series bar chart (e.g. exposures and CTR per hour).
+pub fn dual_bars(
+    title: &str,
+    labels: &[String],
+    series_a: (&str, &[f64]),
+    series_b: (&str, &[f64]),
+) -> String {
+    assert_eq!(labels.len(), series_a.1.len());
+    assert_eq!(labels.len(), series_b.1.len());
+    let max_a = series_a.1.iter().copied().fold(0.0f64, f64::max).max(1e-12);
+    let max_b = series_b.1.iter().copied().fold(0.0f64, f64::max).max(1e-12);
+    let bar_w = 30usize;
+    let lab_w = labels.iter().map(|l| l.len()).max().unwrap_or(4);
+    let mut out = format!(
+        "{title}\n{:lab_w$}  {:<bar_w$}  {:<bar_w$}\n",
+        "", series_a.0, series_b.0
+    );
+    for (i, l) in labels.iter().enumerate() {
+        let wa = ((series_a.1[i] / max_a) * bar_w as f64).round() as usize;
+        let wb = ((series_b.1[i] / max_b) * bar_w as f64).round() as usize;
+        out.push_str(&format!(
+            "{l:>lab_w$}  {:<bar_w$}  {:<bar_w$}  {:>10.4} | {:.4}\n",
+            "#".repeat(wa.min(bar_w)),
+            "*".repeat(wb.min(bar_w)),
+            series_a.1[i],
+            series_b.1[i],
+        ));
+    }
+    out
+}
+
+/// Serialize a matrix as CSV with headers.
+pub fn to_csv(row_labels: &[String], col_labels: &[String], values: &[Vec<f64>]) -> String {
+    let mut out = String::from("label");
+    for c in col_labels {
+        out.push(',');
+        out.push_str(c);
+    }
+    out.push('\n');
+    for (r, row) in values.iter().enumerate() {
+        out.push_str(&row_labels[r]);
+        for v in row {
+            out.push_str(&format!(",{v}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_renders_all_cells() {
+        let out = heatmap(
+            "test",
+            &["a".into(), "b".into()],
+            &["x".into(), "y".into(), "z".into()],
+            &[vec![0.0, 0.5, 1.0], vec![1.0, 0.5, 0.0]],
+        );
+        assert!(out.contains("test"));
+        assert!(out.contains('█'));
+        assert_eq!(out.lines().count(), 4);
+    }
+
+    #[test]
+    fn scatter_places_points() {
+        let p = Points::new(vec![0.0, 0.0, 10.0, 10.0], 2, 2);
+        let out = scatter("s", &p, &[0, 1], 8, 16);
+        assert!(out.contains('o'));
+        assert!(out.contains('x'));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let csv = to_csv(
+            &["r1".into()],
+            &["c1".into(), "c2".into()],
+            &[vec![1.5, 2.5]],
+        );
+        assert_eq!(csv, "label,c1,c2\nr1,1.5,2.5\n");
+    }
+
+    #[test]
+    fn dual_bars_scales_to_max() {
+        let out = dual_bars(
+            "d",
+            &["x".into(), "y".into()],
+            ("exp", &[10.0, 5.0]),
+            ("ctr", &[0.01, 0.02]),
+        );
+        assert!(out.contains("##"));
+        assert!(out.contains('*'));
+    }
+}

@@ -1,0 +1,110 @@
+//! Silhouette score: quantifies the cluster separation the paper's t-SNE
+//! figures (Fig. 10/11) show qualitatively — "more convergent within the
+//! class and more dispersed among the classes" becomes a number.
+
+use crate::pca::Points;
+
+/// Mean silhouette coefficient of `points` under `labels` (cluster per
+/// point). Returns `None` when fewer than two distinct clusters have points.
+///
+/// For each point: `s = (b - a) / max(a, b)` with `a` the mean intra-cluster
+/// distance and `b` the smallest mean distance to another cluster. Range
+/// `[-1, 1]`; higher = better separated.
+pub fn silhouette(points: &Points, labels: &[u32]) -> Option<f64> {
+    let n = points.len();
+    assert_eq!(labels.len(), n, "silhouette: label count mismatch");
+    let mut clusters: Vec<u32> = labels.to_vec();
+    clusters.sort_unstable();
+    clusters.dedup();
+    if clusters.len() < 2 {
+        return None;
+    }
+
+    let dist = |i: usize, j: usize| -> f64 {
+        points
+            .row(i)
+            .iter()
+            .zip(points.row(j).iter())
+            .map(|(&a, &b)| ((a - b) as f64).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    };
+
+    let mut total = 0.0f64;
+    let mut counted = 0usize;
+    for i in 0..n {
+        // Mean distance to every cluster.
+        let mut sums: Vec<f64> = vec![0.0; clusters.len()];
+        let mut counts: Vec<usize> = vec![0; clusters.len()];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let c = clusters.iter().position(|&c| c == labels[j]).expect("known cluster");
+            sums[c] += dist(i, j);
+            counts[c] += 1;
+        }
+        let own = clusters.iter().position(|&c| c == labels[i]).expect("known cluster");
+        if counts[own] == 0 {
+            continue; // singleton cluster: silhouette undefined for the point
+        }
+        let a = sums[own] / counts[own] as f64;
+        let b = (0..clusters.len())
+            .filter(|&c| c != own && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if !b.is_finite() {
+            continue;
+        }
+        total += (b - a) / a.max(b);
+        counted += 1;
+    }
+    (counted > 0).then(|| total / counted as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(offset: f32, n: usize) -> Vec<f32> {
+        (0..n)
+            .flat_map(|i| vec![offset + (i as f32 * 0.01), offset - (i as f32 * 0.01)])
+            .collect()
+    }
+
+    #[test]
+    fn separated_blobs_score_high() {
+        let mut data = blob(0.0, 20);
+        data.extend(blob(50.0, 20));
+        let labels: Vec<u32> = (0..40).map(|i| (i >= 20) as u32).collect();
+        let s = silhouette(&Points::new(data, 40, 2), &labels).unwrap();
+        assert!(s > 0.9, "well-separated blobs: {s}");
+    }
+
+    #[test]
+    fn shuffled_labels_score_low() {
+        let mut data = blob(0.0, 20);
+        data.extend(blob(50.0, 20));
+        // Alternate labels regardless of position.
+        let labels: Vec<u32> = (0..40).map(|i| (i % 2) as u32).collect();
+        let s = silhouette(&Points::new(data, 40, 2), &labels).unwrap();
+        assert!(s < 0.2, "mixed labels: {s}");
+    }
+
+    #[test]
+    fn single_cluster_is_none() {
+        let data = blob(0.0, 10);
+        assert_eq!(silhouette(&Points::new(data, 10, 2), &[1; 10]), None);
+    }
+
+    #[test]
+    fn better_separation_scores_higher() {
+        let mk = |gap: f32| {
+            let mut d = blob(0.0, 15);
+            d.extend(blob(gap, 15));
+            let labels: Vec<u32> = (0..30).map(|i| (i >= 15) as u32).collect();
+            silhouette(&Points::new(d, 30, 2), &labels).unwrap()
+        };
+        assert!(mk(20.0) > mk(1.0));
+    }
+}

@@ -1,0 +1,249 @@
+//! Exact t-SNE (van der Maaten & Hinton 2008) for the Fig. 10/11 embedding
+//! visualizations.
+//!
+//! O(n²) pairwise affinities with per-point perplexity calibration, gradient
+//! descent with momentum and early exaggeration. Intended for the paper's
+//! sample sizes (a few thousand points).
+
+use crate::pca::{pca, Points};
+use basm_tensor::Prng;
+
+/// t-SNE hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TsneConfig {
+    /// Target perplexity (effective neighbor count).
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Early-exaggeration factor applied for the first quarter of iterations.
+    pub exaggeration: f32,
+    /// PCA pre-reduction dimensionality (0 = skip).
+    pub pca_dims: usize,
+    /// Seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self {
+            perplexity: 30.0,
+            iterations: 400,
+            learning_rate: 100.0,
+            exaggeration: 6.0,
+            pca_dims: 16,
+            seed: 42,
+        }
+    }
+}
+
+/// Embed `points` into 2-D. Returns an `n x 2` [`Points`].
+pub fn tsne(points: &Points, cfg: &TsneConfig) -> Points {
+    let n = points.len();
+    if n == 0 {
+        return Points::new(Vec::new(), 0, 2);
+    }
+    assert!(n >= 4, "tsne: need at least 4 points");
+    let reduced;
+    let x = if cfg.pca_dims > 0 && cfg.pca_dims < points.dim() {
+        reduced = pca(points, cfg.pca_dims, 40);
+        &reduced
+    } else {
+        points
+    };
+
+    // Pairwise squared distances.
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist: f64 = x
+                .row(i)
+                .iter()
+                .zip(x.row(j).iter())
+                .map(|(&a, &b)| ((a - b) as f64).powi(2))
+                .sum();
+            d2[i * n + j] = dist;
+            d2[j * n + i] = dist;
+        }
+    }
+
+    // Row-wise precision calibration to the target perplexity.
+    let target_entropy = cfg.perplexity.ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let row = &d2[i * n..(i + 1) * n];
+        let mut beta = 1.0f64;
+        let (mut lo, mut hi) = (f64::NEG_INFINITY, f64::INFINITY);
+        for _ in 0..50 {
+            let (entropy, probs) = row_affinities(row, i, beta);
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-5 {
+                p[i * n..(i + 1) * n].copy_from_slice(&probs);
+                break;
+            }
+            if diff > 0.0 {
+                lo = beta;
+                beta = if hi.is_finite() { (beta + hi) / 2.0 } else { beta * 2.0 };
+            } else {
+                hi = beta;
+                beta = if lo.is_finite() { (beta + lo) / 2.0 } else { beta / 2.0 };
+            }
+            p[i * n..(i + 1) * n].copy_from_slice(&probs);
+        }
+    }
+    // Symmetrize and normalize.
+    let mut sym = vec![0.0f64; n * n];
+    let mut total = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            let v = (p[i * n + j] + p[j * n + i]) / (2.0 * n as f64);
+            sym[i * n + j] = v;
+            total += v;
+        }
+    }
+    for v in &mut sym {
+        *v = (*v / total).max(1e-12);
+    }
+
+    // Gradient descent on the 2-D layout.
+    let mut rng = Prng::seeded(cfg.seed);
+    let mut y: Vec<f32> = (0..2 * n).map(|_| rng.normal() * 1e-2).collect();
+    let mut velocity = vec![0.0f32; 2 * n];
+    let exag_until = cfg.iterations / 4;
+    let mut q = vec![0.0f64; n * n];
+    for iter in 0..cfg.iterations {
+        let exaggeration = if iter < exag_until { cfg.exaggeration as f64 } else { 1.0 };
+        // Student-t affinities in the embedding.
+        let mut qsum = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dy0 = (y[2 * i] - y[2 * j]) as f64;
+                let dy1 = (y[2 * i + 1] - y[2 * j + 1]) as f64;
+                let w = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+                q[i * n + j] = w;
+                q[j * n + i] = w;
+                qsum += 2.0 * w;
+            }
+        }
+        let momentum = if iter < exag_until { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut g0 = 0.0f64;
+            let mut g1 = 0.0f64;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = q[i * n + j];
+                let pij = sym[i * n + j] * exaggeration;
+                let qij = (w / qsum).max(1e-12);
+                let mult = 4.0 * (pij - qij) * w;
+                g0 += mult * (y[2 * i] - y[2 * j]) as f64;
+                g1 += mult * (y[2 * i + 1] - y[2 * j + 1]) as f64;
+            }
+            velocity[2 * i] = momentum * velocity[2 * i] - cfg.learning_rate * g0 as f32;
+            velocity[2 * i + 1] = momentum * velocity[2 * i + 1] - cfg.learning_rate * g1 as f32;
+        }
+        for (yi, vi) in y.iter_mut().zip(velocity.iter()) {
+            *yi += vi;
+        }
+    }
+    Points::new(y, n, 2)
+}
+
+/// Conditional affinities of row `i` at precision `beta`; returns the Shannon
+/// entropy and the probabilities.
+fn row_affinities(d2_row: &[f64], i: usize, beta: f64) -> (f64, Vec<f64>) {
+    let n = d2_row.len();
+    let mut probs = vec![0.0f64; n];
+    let mut sum = 0.0f64;
+    for (j, (&d, p)) in d2_row.iter().zip(probs.iter_mut()).enumerate() {
+        if j == i {
+            continue;
+        }
+        *p = (-beta * d).exp();
+        sum += *p;
+    }
+    if sum <= 0.0 {
+        return (0.0, probs);
+    }
+    let mut entropy = 0.0f64;
+    for (j, p) in probs.iter_mut().enumerate() {
+        if j == i {
+            continue;
+        }
+        *p /= sum;
+        if *p > 1e-300 {
+            entropy -= *p * p.ln();
+        }
+    }
+    (entropy, probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian blobs must stay separated in 2-D.
+    #[test]
+    fn separates_two_blobs() {
+        let mut rng = Prng::seeded(5);
+        let n_per = 30;
+        let mut data = Vec::new();
+        for b in 0..2 {
+            let offset = b as f32 * 20.0;
+            for _ in 0..n_per {
+                for _ in 0..5 {
+                    data.push(offset + rng.normal() * 0.5);
+                }
+            }
+        }
+        let cfg = TsneConfig { perplexity: 10.0, iterations: 250, pca_dims: 0, ..Default::default() };
+        let out = tsne(&Points::new(data, 2 * n_per, 5), &cfg);
+
+        // Centroid distance should exceed intra-blob spread.
+        let centroid = |range: std::ops::Range<usize>| -> (f32, f32) {
+            let mut c = (0.0, 0.0);
+            for i in range.clone() {
+                c.0 += out.row(i)[0];
+                c.1 += out.row(i)[1];
+            }
+            (c.0 / range.len() as f32, c.1 / range.len() as f32)
+        };
+        let c0 = centroid(0..n_per);
+        let c1 = centroid(n_per..2 * n_per);
+        let between = ((c0.0 - c1.0).powi(2) + (c0.1 - c1.1).powi(2)).sqrt();
+        let spread = |range: std::ops::Range<usize>, c: (f32, f32)| -> f32 {
+            let mut s = 0.0;
+            for i in range.clone() {
+                s += ((out.row(i)[0] - c.0).powi(2) + (out.row(i)[1] - c.1).powi(2)).sqrt();
+            }
+            s / range.len() as f32
+        };
+        let s0 = spread(0..n_per, c0);
+        let s1 = spread(n_per..2 * n_per, c1);
+        assert!(
+            between > 2.0 * (s0 + s1) / 2.0,
+            "blobs overlap: between {between}, spreads {s0}/{s1}"
+        );
+    }
+
+    #[test]
+    fn output_is_finite_and_shaped() {
+        let mut rng = Prng::seeded(6);
+        let data: Vec<f32> = (0..40 * 8).map(|_| rng.normal()).collect();
+        let cfg = TsneConfig { iterations: 60, ..Default::default() };
+        let out = tsne(&Points::new(data, 40, 8), &cfg);
+        assert_eq!(out.len(), 40);
+        assert_eq!(out.dim(), 2);
+        for i in 0..40 {
+            assert!(out.row(i).iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out = tsne(&Points::new(Vec::new(), 0, 4), &TsneConfig::default());
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! The online "Base model" (§III-E): a DIN variation with three Multi-head
+//! Target Attention modules over the user's long / short / realtime behavior
+//! sequences — the control arm of the paper's A/B test (Table VII, Fig. 12).
+//!
+//! Our log stores one recent-first sequence; the three views are nested
+//! prefixes: realtime = the last few behaviors, short = the recent window,
+//! long = everything retained.
+
+use basm_core::features::{EmbDims, FeatureEmbedder};
+use basm_core::model::{CtrModel, Forward};
+use basm_core::tower::PlainBnTower;
+use basm_data::{Batch, WorldConfig};
+use basm_tensor::nn::{Activation, MultiHeadTargetAttention};
+use basm_tensor::{Graph, ParamStore, Prng, Tensor, Var};
+
+/// Prefix lengths of the realtime and short views (long = full sequence).
+const REALTIME_LEN: usize = 3;
+const SHORT_LEN: usize = 8;
+
+/// The Base CTR model (DIN variation with multi-head target attention).
+pub struct BaseModel {
+    store: ParamStore,
+    embedder: FeatureEmbedder,
+    att_long: MultiHeadTargetAttention,
+    att_short: MultiHeadTargetAttention,
+    att_realtime: MultiHeadTargetAttention,
+    tower: PlainBnTower,
+}
+
+impl BaseModel {
+    /// Build for a dataset configuration.
+    pub fn new(world: &WorldConfig, seed: u64) -> Self {
+        let mut rng = Prng::seeded(seed);
+        let mut store = ParamStore::new();
+        let dims = EmbDims::default();
+        let embedder = FeatureEmbedder::new(&mut rng, world, dims);
+        let d = dims.seq_dim();
+        let att_long = MultiHeadTargetAttention::new(&mut store, &mut rng, "base.long", d, 2);
+        let att_short = MultiHeadTargetAttention::new(&mut store, &mut rng, "base.short", d, 2);
+        let att_realtime = MultiHeadTargetAttention::new(&mut store, &mut rng, "base.rt", d, 2);
+        // Input: user + 3 pooled behaviors + candidate + context + combine.
+        let in_dim = dims.user_field_dim()
+            + 3 * d
+            + dims.candidate_field_dim()
+            + dims.context_field_dim()
+            + dims.combine_field_dim();
+        let tower = PlainBnTower::new(
+            &mut store,
+            &mut rng,
+            "base.tower",
+            &[in_dim, 64, 32],
+            Activation::LeakyRelu(0.01),
+        );
+        Self { store, embedder, att_long, att_short, att_realtime, tower }
+    }
+
+    /// Mask restricted to the first `len` (most recent) positions.
+    fn prefix_mask(full: &Tensor, len: usize) -> Tensor {
+        let (m, t) = full.shape();
+        Tensor::from_fn(m, t, |r, c| if c < len { full.get(r, c) } else { 0.0 })
+    }
+
+    fn pooled(
+        att: &MultiHeadTargetAttention,
+        g: &mut Graph,
+        store: &ParamStore,
+        query: Var,
+        seq: Var,
+        mask: &Tensor,
+        len: usize,
+        t: usize,
+    ) -> Var {
+        let m = g.input(Self::prefix_mask(mask, len));
+        att.forward(g, store, query, seq, m, t)
+    }
+}
+
+impl CtrModel for BaseModel {
+    fn name(&self) -> &str {
+        "Base"
+    }
+
+    fn forward(&mut self, g: &mut Graph, batch: &Batch, training: bool) -> Forward {
+        let fe = &mut self.embedder;
+        let user = fe.user_field(g, batch);
+        let cand = fe.candidate_field(g, batch);
+        let ctx = fe.context_field(g, batch);
+        let comb = fe.combine_field(g, batch);
+        let query = fe.query_emb(g, batch);
+        let seq = fe.seq_embs(g, batch);
+        let t = batch.seq_len;
+        let store = &self.store;
+        let long = Self::pooled(&self.att_long, g, store, query, seq, &batch.mask, t, t);
+        let short =
+            Self::pooled(&self.att_short, g, store, query, seq, &batch.mask, SHORT_LEN.min(t), t);
+        let rt = Self::pooled(
+            &self.att_realtime,
+            g,
+            store,
+            query,
+            seq,
+            &batch.mask,
+            REALTIME_LEN.min(t),
+            t,
+        );
+        let h = g.concat_cols(&[user, long, short, rt, cand, ctx, comb]);
+        let (logits, hidden) = self.tower.forward(g, &self.store, h, training);
+        Forward { logits, hidden, alphas: Vec::new() }
+    }
+
+    fn params(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn bn_layers(&mut self) -> Vec<&mut basm_tensor::nn::BatchNorm1d> {
+        self.tower.bn_layers_mut()
+    }
+
+    fn embedder(&mut self) -> &mut FeatureEmbedder {
+        &mut self.embedder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basm_core::model::{predict, train_step};
+    use basm_data::generate_dataset;
+    use basm_tensor::optim::AdagradDecay;
+
+    #[test]
+    fn prefix_mask_truncates() {
+        let full = Tensor::ones(2, 5);
+        let m = BaseModel::prefix_mask(&full, 2);
+        assert_eq!(m.row(0), &[1.0, 1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn prefix_mask_respects_padding() {
+        let full = Tensor::from_vec(1, 4, vec![1.0, 0.0, 1.0, 1.0]);
+        let m = BaseModel::prefix_mask(&full, 3);
+        assert_eq!(m.row(0), &[1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn trains_and_predicts() {
+        let cfg = WorldConfig::tiny();
+        let data = generate_dataset(&cfg);
+        let mut model = BaseModel::new(&cfg, 7);
+        let b = data.dataset.batch(&(0..32).collect::<Vec<_>>());
+        let mut opt = AdagradDecay::paper_default();
+        let first = train_step(&mut model, &b, &mut opt, 0.05, Some(10.0));
+        for _ in 0..15 {
+            train_step(&mut model, &b, &mut opt, 0.05, Some(10.0));
+        }
+        let last = train_step(&mut model, &b, &mut opt, 0.05, Some(10.0));
+        assert!(last < first);
+        assert_eq!(predict(&mut model, &b).len(), 32);
+    }
+}

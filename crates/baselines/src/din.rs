@@ -1,0 +1,99 @@
+//! DIN \[22\]: Deep Interest Network — a local activation unit extracts the
+//! candidate-relevant interest from the behavior sequence.
+
+use basm_core::features::{EmbDims, FeatureEmbedder};
+use basm_core::model::{CtrModel, Forward};
+use basm_core::tower::PlainBnTower;
+use basm_data::{Batch, WorldConfig};
+use basm_tensor::nn::{Activation, TargetAttention};
+use basm_tensor::{Graph, ParamStore, Prng};
+
+/// The DIN CTR model.
+pub struct Din {
+    store: ParamStore,
+    embedder: FeatureEmbedder,
+    attention: TargetAttention,
+    tower: PlainBnTower,
+}
+
+impl Din {
+    /// Build for a dataset configuration.
+    pub fn new(world: &WorldConfig, seed: u64) -> Self {
+        let mut rng = Prng::seeded(seed);
+        let mut store = ParamStore::new();
+        let dims = EmbDims::default();
+        let embedder = FeatureEmbedder::new(&mut rng, world, dims);
+        let attention =
+            TargetAttention::new(&mut store, &mut rng, "din.att", dims.seq_dim(), 36);
+        let raw = dims.raw_semantic_dim();
+        let tower = PlainBnTower::new(
+            &mut store,
+            &mut rng,
+            "din.tower",
+            &[raw, 64, 32],
+            Activation::LeakyRelu(0.01),
+        );
+        Self { store, embedder, attention, tower }
+    }
+}
+
+impl CtrModel for Din {
+    fn name(&self) -> &str {
+        "DIN"
+    }
+
+    fn forward(&mut self, g: &mut Graph, batch: &Batch, training: bool) -> Forward {
+        let fe = &mut self.embedder;
+        let user = fe.user_field(g, batch);
+        let cand = fe.candidate_field(g, batch);
+        let ctx = fe.context_field(g, batch);
+        let comb = fe.combine_field(g, batch);
+        let query = fe.query_emb(g, batch);
+        let seq = fe.seq_embs(g, batch);
+        let mask = g.input(batch.mask.clone());
+        let (behavior, _) =
+            self.attention
+                .forward(g, &self.store, query, seq, mask, batch.seq_len);
+        let h = g.concat_cols(&[user, behavior, cand, ctx, comb]);
+        let (logits, hidden) = self.tower.forward(g, &self.store, h, training);
+        Forward { logits, hidden, alphas: Vec::new() }
+    }
+
+    fn params(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn bn_layers(&mut self) -> Vec<&mut basm_tensor::nn::BatchNorm1d> {
+        self.tower.bn_layers_mut()
+    }
+
+    fn embedder(&mut self) -> &mut FeatureEmbedder {
+        &mut self.embedder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basm_core::model::{predict_full, train_step};
+    use basm_data::generate_dataset;
+    use basm_tensor::optim::AdagradDecay;
+
+    #[test]
+    fn trains_and_predicts() {
+        let cfg = WorldConfig::tiny();
+        let data = generate_dataset(&cfg);
+        let mut model = Din::new(&cfg, 2);
+        let b = data.dataset.batch(&(0..32).collect::<Vec<_>>());
+        let mut opt = AdagradDecay::paper_default();
+        let first = train_step(&mut model, &b, &mut opt, 0.05, Some(10.0));
+        for _ in 0..15 {
+            train_step(&mut model, &b, &mut opt, 0.05, Some(10.0));
+        }
+        let last = train_step(&mut model, &b, &mut opt, 0.05, Some(10.0));
+        assert!(last < first);
+        let inf = predict_full(&mut model, &b);
+        assert_eq!(inf.hidden.shape(), (32, 32));
+        assert!(inf.alphas.is_empty());
+    }
+}

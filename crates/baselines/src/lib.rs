@@ -1,0 +1,29 @@
+//! # basm-baselines
+//!
+//! The comparison methods of Table IV, implemented on the same
+//! [`basm_core::model::CtrModel`] framework and feature schema as BASM:
+//!
+//! * static-parameter: [`WideDeep`] \[21\], [`Din`] \[22\], [`AutoInt`] \[1\];
+//! * dynamic-parameter: [`Star`] \[23\], [`M2m`] \[16\], [`Apg`] \[20\];
+//! * plus the online control arm [`BaseModel`] (§III-E).
+//!
+//! [`zoo::build_model`] constructs any of them (and the BASM ablations) by
+//! Table IV/V name.
+
+pub mod apg;
+pub mod autoint;
+pub mod base;
+pub mod din;
+pub mod m2m;
+pub mod star;
+pub mod wide_deep;
+pub mod zoo;
+
+pub use apg::Apg;
+pub use autoint::AutoInt;
+pub use base::BaseModel;
+pub use din::Din;
+pub use m2m::M2m;
+pub use star::Star;
+pub use wide_deep::WideDeep;
+pub use zoo::{build_model, TABLE4_MODELS};

@@ -1,0 +1,76 @@
+//! Model factory: build any Table IV method by name.
+
+use basm_core::basm::{Basm, BasmConfig};
+use basm_core::model::CtrModel;
+use basm_data::WorldConfig;
+
+use crate::apg::Apg;
+use crate::autoint::AutoInt;
+use crate::base::BaseModel;
+use crate::din::Din;
+use crate::m2m::M2m;
+use crate::star::Star;
+use crate::wide_deep::WideDeep;
+
+/// Every model Table IV compares (in the paper's row order), plus the online
+/// Base model and the Table V ablations.
+pub const TABLE4_MODELS: [&str; 7] =
+    ["Wide&Deep", "DIN", "AutoInt", "STAR", "M2M", "APG", "BASM"];
+
+/// Build a model by Table IV/V name. Panics on an unknown name.
+pub fn build_model(name: &str, world: &WorldConfig, seed: u64) -> Box<dyn CtrModel> {
+    match name {
+        "Wide&Deep" => Box::new(WideDeep::new(world, seed)),
+        "DIN" => Box::new(Din::new(world, seed)),
+        "AutoInt" => Box::new(AutoInt::new(world, seed)),
+        "STAR" => Box::new(Star::new(world, seed)),
+        "M2M" => Box::new(M2m::new(world, seed)),
+        "APG" => Box::new(Apg::new(world, seed)),
+        "Base" => Box::new(BaseModel::new(world, seed)),
+        "BASM" => Box::new(Basm::new(world, BasmConfig { seed, ..BasmConfig::default() })),
+        "BASM w/o StAEL" => Box::new(Basm::new(
+            world,
+            BasmConfig { seed, ..BasmConfig::default() }.without_stael(),
+        )),
+        "BASM w/o StSTL" => Box::new(Basm::new(
+            world,
+            BasmConfig { seed, ..BasmConfig::default() }.without_ststl(),
+        )),
+        "BASM w/o StABT" => Box::new(Basm::new(
+            world,
+            BasmConfig { seed, ..BasmConfig::default() }.without_stabt(),
+        )),
+        other => panic!("unknown model {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basm_core::model::predict;
+    use basm_data::generate_dataset;
+
+    #[test]
+    fn all_models_build_and_predict() {
+        let cfg = WorldConfig::tiny();
+        let data = generate_dataset(&cfg);
+        let b = data.dataset.batch(&[0, 1, 2, 3]);
+        for name in TABLE4_MODELS
+            .iter()
+            .chain(["Base", "BASM w/o StAEL", "BASM w/o StSTL", "BASM w/o StABT"].iter())
+        {
+            let mut model = build_model(name, &cfg, 1);
+            assert_eq!(model.name(), *name);
+            let probs = predict(model.as_mut(), &b);
+            assert_eq!(probs.len(), 4, "{name}");
+            assert!(probs.iter().all(|p| p.is_finite()), "{name}");
+            assert!(model.num_params() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model")]
+    fn unknown_name_panics() {
+        build_model("GPT", &WorldConfig::tiny(), 1);
+    }
+}

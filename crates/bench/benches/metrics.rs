@@ -1,0 +1,36 @@
+//! Metric-computation microbenches: the paper's TAUC/CAUC are evaluated over
+//! millions of impressions in production, so the implementations must be
+//! O(n log n).
+
+use basm_metrics::{auc, grouped_auc, ndcg_at_k};
+use basm_tensor::Prng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut rng = Prng::seeded(1);
+    let mut group = c.benchmark_group("metrics");
+    for &n in &[10_000usize, 100_000] {
+        let scores: Vec<f32> = (0..n).map(|_| rng.uniform()).collect();
+        let labels: Vec<f32> = (0..n).map(|_| f32::from(rng.chance(0.05))).collect();
+        let groups: Vec<u32> = (0..n).map(|_| rng.below(10) as u32).collect();
+        let sessions: Vec<u32> = (0..n as u32).map(|i| i / 8).collect();
+        group.bench_with_input(BenchmarkId::new("auc", n), &n, |b, _| {
+            b.iter(|| black_box(auc(&scores, &labels)));
+        });
+        group.bench_with_input(BenchmarkId::new("grouped_auc", n), &n, |b, _| {
+            b.iter(|| black_box(grouped_auc(&scores, &labels, &groups)));
+        });
+        group.bench_with_input(BenchmarkId::new("ndcg10", n), &n, |b, _| {
+            b.iter(|| black_box(ndcg_at_k(&scores, &labels, &sessions, 10)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_metrics
+}
+criterion_main!(benches);

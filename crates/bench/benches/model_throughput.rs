@@ -1,0 +1,45 @@
+//! Per-model train-step and inference throughput on a tiny world — the
+//! microbench behind Table VI's relative cost ordering.
+
+use basm_baselines::{build_model, TABLE4_MODELS};
+use basm_core::model::{predict, train_step};
+use basm_data::{generate_dataset, WorldConfig};
+use basm_tensor::optim::AdagradDecay;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let cfg = WorldConfig::tiny();
+    let data = generate_dataset(&cfg);
+    let ds = &data.dataset;
+    let indices: Vec<usize> = (0..128.min(ds.len())).collect();
+    let batch = ds.batch(&indices);
+
+    let mut group = c.benchmark_group("train_step_b128");
+    for name in TABLE4_MODELS {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |bench, _| {
+            let mut model = build_model(name, &cfg, 1);
+            let mut opt = AdagradDecay::paper_default();
+            bench.iter(|| {
+                black_box(train_step(model.as_mut(), &batch, &mut opt, 0.01, Some(10.0)))
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("inference_b128");
+    for name in ["DIN", "BASM"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |bench, _| {
+            let mut model = build_model(name, &cfg, 1);
+            bench.iter(|| black_box(predict(model.as_mut(), &batch)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_models
+}
+criterion_main!(benches);

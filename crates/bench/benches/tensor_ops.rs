@@ -1,0 +1,89 @@
+//! Microbenches of the autograd substrate's hot ops: matmul variants, the
+//! fused sequence ops, batch norm and a full forward+backward tape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use basm_tensor::nn::{Activation, Mlp};
+use basm_tensor::{linalg, Graph, ParamStore, Prng, Tensor};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = Prng::seeded(1);
+    for &n in &[32usize, 128] {
+        let a = rng.randn(n, n, 1.0);
+        let b = rng.randn(n, n, 1.0);
+        group.bench_with_input(BenchmarkId::new("square", n), &n, |bench, _| {
+            bench.iter(|| linalg::matmul(black_box(&a), black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("at_b", n), &n, |bench, _| {
+            bench.iter(|| linalg::matmul_at_b(black_box(&a), black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("a_bt", n), &n, |bench, _| {
+            bench.iter(|| linalg::matmul_a_bt(black_box(&a), black_box(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fused_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused");
+    let mut rng = Prng::seeded(2);
+    let batch = 256;
+    let t = 20;
+    let d = 32;
+    let seq = rng.randn(batch, t * d, 1.0);
+    let w = rng.rand_uniform(batch, t, 0.0, 1.0);
+    group.bench_function("seq_weighted_sum/256x20x32", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let s = g.input(seq.clone());
+            let wv = g.input(w.clone());
+            black_box(g.seq_weighted_sum(s, wv, t, d))
+        });
+    });
+    let meta_w = rng.randn(batch, 64 * 32, 0.1);
+    let x = rng.randn(batch, 32, 1.0);
+    group.bench_function("meta_linear/256x64x32", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let wv = g.input(meta_w.clone());
+            let xv = g.input(x.clone());
+            black_box(g.meta_linear(wv, xv, 64, 32))
+        });
+    });
+    let bn_in = rng.randn(batch, 64, 1.0);
+    group.bench_function("batch_norm_train/256x64", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let xv = g.input(bn_in.clone());
+            black_box(g.batch_norm_train(xv, 1e-5))
+        });
+    });
+    group.finish();
+}
+
+fn bench_tape(c: &mut Criterion) {
+    let mut rng = Prng::seeded(3);
+    let mut store = ParamStore::new();
+    let mlp = Mlp::new(&mut store, &mut rng, "m", &[132, 64, 32, 1], Activation::LeakyRelu(0.01));
+    let x = rng.randn(256, 132, 1.0);
+    let y = Tensor::from_fn(256, 1, |r, _| f32::from(r % 7 == 0));
+    c.bench_function("mlp_forward_backward/256x132", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let yv = g.input(y.clone());
+            let logits = mlp.forward(&mut g, &store, xv);
+            let loss = g.bce_with_logits(logits, yv);
+            g.backward(loss);
+            black_box(g.value(loss).item())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_fused_ops, bench_tape
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! **Fig. 10 / Fig. 11**: t-SNE of the final instance representations of the
+//! Base model vs BASM, colored by time-period (Fig. 10) and by city
+//! (Fig. 11). The silhouette score quantifies the paper's qualitative claim
+//! that BASM's embeddings are "more convergent within the class and more
+//! dispersed among the classes".
+
+use basm_analysis::{scatter, silhouette, tsne, Points, TsneConfig};
+use basm_baselines::build_model;
+use basm_bench::BenchEnv;
+use basm_core::model::predict_full;
+use basm_tensor::Prng;
+use basm_trainer::{train, TrainConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TsneOutcome {
+    model: String,
+    grouping: String,
+    silhouette: f64,
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let data = env.eleme();
+    let ds = &data.dataset;
+    let sample_n = if env.fast { 150 } else { 450 };
+
+    // Sample test instances once; both models embed the same instances.
+    let mut rng = Prng::seeded(1010);
+    let mut test = ds.test_indices();
+    rng.shuffle(&mut test);
+    test.truncate(sample_n);
+
+    let mut out = String::new();
+    let mut outcomes = Vec::new();
+    for name in ["Base", "BASM"] {
+        let mut model = build_model(name, &ds.config, 3);
+        let tc = TrainConfig::default_for(ds, env.epochs, env.batch, 3);
+        eprintln!("[fig10_11] training {name}...");
+        train(model.as_mut(), ds, &tc);
+
+        // Collect final hidden representations.
+        let mut hidden: Vec<f32> = Vec::new();
+        let mut dim = 0;
+        for chunk in test.chunks(512) {
+            let batch = ds.batch(chunk);
+            let inf = predict_full(model.as_mut(), &batch);
+            dim = inf.hidden.cols();
+            hidden.extend_from_slice(inf.hidden.data());
+        }
+        let points = Points::new(hidden, test.len(), dim);
+        let cfg = TsneConfig {
+            iterations: if env.fast { 120 } else { 250 },
+            perplexity: 25.0,
+            ..Default::default()
+        };
+        eprintln!("[fig10_11] running t-SNE for {name} ({} points)...", test.len());
+        let embedded = tsne(&points, &cfg);
+
+        for (fig, grouping, labels) in [
+            (
+                "Fig. 10",
+                "time-period",
+                test.iter().map(|&i| ds.tp[i] as u32).collect::<Vec<u32>>(),
+            ),
+            ("Fig. 11", "city", test.iter().map(|&i| ds.city[i] as u32).collect()),
+        ] {
+            let sil = silhouette(&embedded, &labels).unwrap_or(f64::NAN);
+            out.push_str(&scatter(
+                &format!("{fig} — {name} embeddings by {grouping} (silhouette {sil:.3})"),
+                &embedded,
+                &labels,
+                24,
+                72,
+            ));
+            out.push('\n');
+            outcomes.push(TsneOutcome {
+                model: name.to_string(),
+                grouping: grouping.to_string(),
+                silhouette: sil,
+            });
+        }
+    }
+
+    // Shape: BASM should separate spatiotemporal classes better than Base.
+    for grouping in ["time-period", "city"] {
+        let get = |m: &str| {
+            outcomes
+                .iter()
+                .find(|o| o.model == m && o.grouping == grouping)
+                .map(|o| o.silhouette)
+                .unwrap_or(f64::NAN)
+        };
+        out.push_str(&format!(
+            "shape ({grouping}): silhouette BASM {:.3} vs Base {:.3} \
+             (paper: BASM more separated)\n",
+            get("BASM"),
+            get("Base")
+        ));
+    }
+    env.emit("fig10_11_tsne.txt", &out);
+    env.write_json("fig10_11_tsne.json", &outcomes);
+}

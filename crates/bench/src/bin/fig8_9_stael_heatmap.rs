@@ -1,0 +1,105 @@
+//! **Fig. 8 / Fig. 9**: the spatiotemporal weights α_j learned by StAEL,
+//! visualized as heatmaps over time-periods (Fig. 8) and cities (Fig. 9),
+//! next to the user-activity statistics that explain them.
+
+use basm_analysis::{heatmap, to_csv};
+use basm_bench::BenchEnv;
+use basm_core::basm::{Basm, BasmConfig};
+use basm_core::model::predict_full;
+use basm_data::TIME_PERIODS;
+use basm_trainer::{train, TrainConfig};
+
+/// α is reported for the four adapted fields, in `Forward::alphas` order.
+const FIELDS: [&str; 4] = ["user", "behavior-seq", "candidate-item", "combine"];
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let data = env.eleme();
+    let ds = &data.dataset;
+
+    let mut model = Basm::new(&ds.config, BasmConfig::default());
+    let tc = TrainConfig::default_for(ds, env.epochs, env.batch, 1);
+    eprintln!("[fig8_9] training BASM...");
+    train(&mut model, ds, &tc);
+
+    // Collect α over the test day, grouped by time-period and by city.
+    let test = ds.test_indices();
+    let n_tp = TIME_PERIODS.len();
+    let n_city = ds.config.n_cities;
+    let mut tp_sum = vec![vec![0.0f64; FIELDS.len()]; n_tp];
+    let mut tp_cnt = vec![0usize; n_tp];
+    let mut city_sum = vec![vec![0.0f64; FIELDS.len()]; n_city];
+    let mut city_cnt = vec![0usize; n_city];
+    let mut click_by_tp = vec![0.0f64; n_tp];
+    let mut click_by_city = vec![0.0f64; n_city];
+
+    for chunk in test.chunks(1024) {
+        let batch = ds.batch(chunk);
+        let inf = predict_full(&mut model, &batch);
+        assert_eq!(inf.alphas.len(), FIELDS.len());
+        for (i, &orig) in chunk.iter().enumerate() {
+            let tp = ds.tp[orig] as usize;
+            let city = ds.city[orig] as usize;
+            tp_cnt[tp] += 1;
+            city_cnt[city] += 1;
+            click_by_tp[tp] += ds.label[orig] as f64;
+            click_by_city[city] += ds.label[orig] as f64;
+            for (f, alphas) in inf.alphas.iter().enumerate() {
+                tp_sum[tp][f] += alphas[i] as f64;
+                city_sum[city][f] += alphas[i] as f64;
+            }
+        }
+    }
+
+    let normalize = |sums: Vec<Vec<f64>>, counts: &[usize]| -> Vec<Vec<f64>> {
+        sums.into_iter()
+            .zip(counts.iter())
+            .map(|(row, &c)| row.into_iter().map(|v| v / c.max(1) as f64).collect())
+            .collect()
+    };
+    let tp_alpha = normalize(tp_sum, &tp_cnt);
+    let city_alpha = normalize(city_sum, &city_cnt);
+
+    let field_labels: Vec<String> = FIELDS.iter().map(|s| s.to_string()).collect();
+    let tp_labels: Vec<String> = TIME_PERIODS.iter().map(|t| t.name().to_string()).collect();
+    let city_labels: Vec<String> = (0..n_city).map(|c| format!("city{}", c + 1)).collect();
+
+    let mut out = String::new();
+    out.push_str("Fig. 8(a) — user activity (clicks in test day) per time-period\n");
+    for (tp, (&clicks, &cnt)) in tp_labels.iter().zip(click_by_tp.iter().zip(tp_cnt.iter())).map(|(l, v)| (l, v)) {
+        out.push_str(&format!("  {tp:>14}: {clicks:>6.0} clicks / {cnt:>6} exposures\n"));
+    }
+    out.push_str(&heatmap(
+        "\nFig. 8(b) — mean StAEL α per field over time-periods",
+        &tp_labels,
+        &field_labels,
+        &tp_alpha,
+    ));
+    out.push('\n');
+    out.push_str(&heatmap(
+        "Fig. 9(b) — mean StAEL α per field over cities (city1 largest)",
+        &city_labels,
+        &field_labels,
+        &city_alpha,
+    ));
+
+    // Shape: the paper reports higher user-side α at lunch/dinner than at
+    // breakfast/night, and user-side α growing with city activity.
+    let user_col = 0;
+    let meal = (tp_alpha[1][user_col] + tp_alpha[3][user_col]) / 2.0;
+    let off = (tp_alpha[0][user_col] + tp_alpha[4][user_col]) / 2.0;
+    out.push_str(&format!(
+        "\nshape: mean user-field α at lunch+dinner {meal:.3} vs breakfast+night {off:.3} \
+         (paper: meals higher)\n"
+    ));
+    let big = city_alpha[0][user_col];
+    let small = city_alpha[n_city.saturating_sub(2).max(1)][user_col];
+    out.push_str(&format!(
+        "shape: user-field α in city1 {big:.3} vs small city {small:.3} \
+         (paper: larger cities higher)\n"
+    ));
+
+    env.emit("fig8_9_stael_heatmap.txt", &out);
+    env.write("fig8_alpha_by_tp.csv", &to_csv(&tp_labels, &field_labels, &tp_alpha));
+    env.write("fig9_alpha_by_city.csv", &to_csv(&city_labels, &field_labels, &city_alpha));
+}

@@ -1,0 +1,36 @@
+//! **Table III**: basic statistics of the two datasets (size, #features,
+//! #users, #items, #clicks, mean behavior-sequence length).
+
+use basm_bench::{format_table, BenchEnv};
+use basm_data::DatasetStats;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let eleme = DatasetStats::compute(&env.eleme().dataset);
+    let public = DatasetStats::compute(&env.public_data().dataset);
+
+    let row = |s: &DatasetStats| -> Vec<String> {
+        vec![
+            s.name.clone(),
+            s.total_size.to_string(),
+            s.n_features.to_string(),
+            s.n_users.to_string(),
+            s.n_items.to_string(),
+            s.n_clicks.to_string(),
+            format!("{:.2}", s.mean_seq_len),
+            format!("{:.4}", s.ctr),
+        ]
+    };
+    let table = format_table(
+        &["Dataset", "Total Size", "#Feature", "#Users", "#Items", "#Clicks", "ML", "CTR"],
+        &[row(&eleme), row(&public)],
+    );
+    let mut out = String::from("Table III — dataset statistics (simulated)\n");
+    out.push_str(&table);
+    out.push_str(&format!(
+        "\nshape: Ele.me CTR {:.4} > public CTR {:.4} (paper: 3.6% vs 1.8%)\n",
+        eleme.ctr, public.ctr
+    ));
+    env.emit("table3_stats.txt", &out);
+    env.write_json("table3_stats.json", &vec![eleme, public]);
+}

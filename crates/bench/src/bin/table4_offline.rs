@@ -1,0 +1,82 @@
+//! **Table IV**: offline comparison of all seven methods on both datasets,
+//! across AUC / TAUC / CAUC / NDCG3 / NDCG10 / Logloss, averaged over seeds
+//! (the paper averages five repetitions; `BASM_SEEDS` controls ours).
+
+use basm_bench::{format_table, BenchEnv};
+use basm_data::GeneratedData;
+use basm_metrics::MetricReport;
+use basm_trainer::run_repeated;
+use std::time::Instant;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let mut artifacts = Vec::new();
+    let mut out = String::from("Table IV — offline performance comparison\n");
+    for data in [env.eleme(), env.public_data()] {
+        let (table, results) = run_dataset(&env, &data);
+        out.push_str(&format!("\n## {}\n{table}", data.dataset.config.name));
+        out.push_str(&shape_check(&results));
+        artifacts.push((data.dataset.config.name.clone(), results));
+    }
+    env.emit("table4_offline.txt", &out);
+    env.write_json("table4_offline.json", &artifacts);
+}
+
+fn run_dataset(
+    env: &BenchEnv,
+    data: &GeneratedData,
+) -> (String, Vec<(String, MetricReport)>) {
+    let ds = &data.dataset;
+    let world = &ds.config;
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for name in basm_baselines::TABLE4_MODELS {
+        let t0 = Instant::now();
+        let rep = run_repeated(name, world, ds, env.epochs, env.batch, &env.seeds);
+        let m = rep.mean;
+        eprintln!(
+            "[table4] {} / {name}: AUC {:.4} ({:.0}s, {} seeds)",
+            world.name,
+            m.auc,
+            t0.elapsed().as_secs_f64(),
+            env.seeds.len()
+        );
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.4}", m.auc),
+            format!("{:.4}", m.tauc),
+            format!("{:.4}", m.cauc),
+            format!("{:.4}", m.ndcg3),
+            format!("{:.4}", m.ndcg10),
+            format!("{:.4}", m.logloss),
+        ]);
+        results.push((name.to_string(), m));
+    }
+    (
+        format_table(
+            &["Method", "AUC", "TAUC", "CAUC", "NDCG3", "NDCG10", "Logloss"],
+            &rows,
+        ),
+        results,
+    )
+}
+
+/// Report the orderings the paper's Table IV asserts.
+fn shape_check(results: &[(String, MetricReport)]) -> String {
+    let get = |name: &str| results.iter().find(|(n, _)| n == name).map(|(_, m)| m.auc);
+    let basm = get("BASM").unwrap_or(0.0);
+    let best_static = ["Wide&Deep", "DIN", "AutoInt"]
+        .iter()
+        .filter_map(|n| get(n))
+        .fold(0.0, f64::max);
+    let best_dynamic_baseline =
+        ["STAR", "M2M", "APG"].iter().filter_map(|n| get(n)).fold(0.0, f64::max);
+    let wins_all = results
+        .iter()
+        .filter(|(n, _)| n != "BASM")
+        .all(|(_, m)| basm >= m.auc);
+    format!(
+        "shape: BASM AUC {basm:.4} vs best static {best_static:.4} vs best dynamic baseline \
+         {best_dynamic_baseline:.4}; BASM wins AUC on every method: {wins_all}\n"
+    )
+}

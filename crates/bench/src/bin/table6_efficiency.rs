@@ -1,0 +1,58 @@
+//! **Table VI**: training time per epoch and memory per model on the
+//! Ele.me-like dataset. Absolute numbers are CPU-laptop scale; the paper's
+//! *ordering* (static cheap, dynamic expensive, APG worst, BASM the cheapest
+//! dynamic method thanks to low-rank generation) is the reproduction target.
+
+use basm_baselines::{build_model, TABLE4_MODELS};
+use basm_bench::{format_table, BenchEnv};
+use basm_trainer::measure_efficiency;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let data = env.eleme();
+    let ds = &data.dataset;
+
+    let mut rows = Vec::new();
+    let mut reports = Vec::new();
+    for name in TABLE4_MODELS {
+        let mut model = build_model(name, &ds.config, 1);
+        let rep = measure_efficiency(model.as_mut(), ds, env.batch, 0.01);
+        eprintln!(
+            "[table6] {name}: {:.1}s/epoch, {:.1} MB",
+            rep.secs_per_epoch,
+            rep.memory_mb()
+        );
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", rep.secs_per_epoch),
+            format!("{:.1}", rep.memory_mb()),
+            format!("{}", rep.num_params),
+            format!("{:.2}", rep.activation_bytes as f64 / (1024.0 * 1024.0)),
+        ]);
+        reports.push(rep);
+    }
+    let mut out = String::from("Table VI — training time per epoch and memory cost\n");
+    out.push_str(&format_table(
+        &["Method", "Time/Epoch (s)", "Memory (MB)", "#Params", "Activations (MB)"],
+        &rows,
+    ));
+
+    let time = |n: &str| reports.iter().find(|r| r.model == n).map(|r| r.secs_per_epoch);
+    let static_max = ["Wide&Deep", "DIN", "AutoInt"]
+        .iter()
+        .filter_map(|n| time(n))
+        .fold(0.0, f64::max);
+    let apg = time("APG").unwrap_or(0.0);
+    let basm = time("BASM").unwrap_or(0.0);
+    let other_dynamic_min =
+        ["STAR", "M2M", "APG"].iter().filter_map(|n| time(n)).fold(f64::MAX, f64::min);
+    out.push_str(&format!(
+        "\nshape: BASM {basm:.1}s vs cheapest other dynamic {other_dynamic_min:.1}s \
+         (paper: BASM cheapest dynamic); APG worst: {} (paper: APG worst); \
+         static ≤ dynamic: {}\n",
+        ["STAR", "M2M", "BASM"].iter().filter_map(|n| time(n)).all(|t| apg >= t),
+        static_max <= apg
+    ));
+    env.emit("table6_efficiency.txt", &out);
+    env.write_json("table6_efficiency.json", &reports);
+}

@@ -1,0 +1,141 @@
+//! # basm-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (see
+//! `DESIGN.md` §3 for the index) plus Criterion microbenches.
+//!
+//! Every binary honours these environment variables:
+//!
+//! * `BASM_FAST=1` — run on the `tiny` dataset configuration (smoke test,
+//!   seconds instead of minutes).
+//! * `BASM_EPOCHS=n` — override training epochs.
+//! * `BASM_SEEDS=a,b,c` — override the repetition seeds (paper: five).
+//! * `BASM_OUT=dir` — where result artifacts (text + JSON) are written
+//!   (default `results/`).
+
+use basm_data::{generate_dataset, GeneratedData, WorldConfig};
+use std::path::{Path, PathBuf};
+
+/// Shared experiment environment.
+pub struct BenchEnv {
+    /// Training epochs per run.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Repetition seeds.
+    pub seeds: Vec<u64>,
+    /// Artifact directory.
+    pub out_dir: PathBuf,
+    /// Smoke-test mode (tiny world).
+    pub fast: bool,
+}
+
+impl BenchEnv {
+    /// Read the environment.
+    pub fn from_env() -> Self {
+        let fast = std::env::var("BASM_FAST").map(|v| v == "1").unwrap_or(false);
+        let epochs = std::env::var("BASM_EPOCHS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if fast { 1 } else { 2 });
+        let batch = std::env::var("BASM_BATCH")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if fast { 128 } else { 512 });
+        let seeds = std::env::var("BASM_SEEDS")
+            .ok()
+            .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+            .filter(|v: &Vec<u64>| !v.is_empty())
+            .unwrap_or_else(|| if fast { vec![1] } else { vec![1, 2] });
+        let out_dir = std::env::var("BASM_OUT").map(PathBuf::from).unwrap_or_else(|_| {
+            PathBuf::from("results")
+        });
+        Self { epochs, batch, seeds, out_dir, fast }
+    }
+
+    /// The Ele.me-like dataset (or tiny in fast mode).
+    pub fn eleme(&self) -> GeneratedData {
+        generate_dataset(&if self.fast { WorldConfig::tiny() } else { WorldConfig::eleme_like() })
+    }
+
+    /// The public-like dataset (or tiny-with-different-seed in fast mode).
+    pub fn public_data(&self) -> GeneratedData {
+        generate_dataset(&if self.fast {
+            WorldConfig { seed: 99, name: "tiny-public".into(), ..WorldConfig::tiny() }
+        } else {
+            WorldConfig::public_like()
+        })
+    }
+
+    /// Write a text artifact under the output dir (also echoes to stdout).
+    pub fn emit(&self, name: &str, content: &str) {
+        println!("{content}");
+        self.write(name, content);
+    }
+
+    /// Write a text artifact without echoing.
+    pub fn write(&self, name: &str, content: &str) {
+        std::fs::create_dir_all(&self.out_dir).expect("create results dir");
+        let path = self.out_dir.join(name);
+        std::fs::write(&path, content).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        eprintln!("[artifact] {}", path.display());
+    }
+
+    /// Write a JSON artifact.
+    pub fn write_json(&self, name: &str, value: &impl serde::Serialize) {
+        let text = serde_json::to_string_pretty(value).expect("serialize artifact");
+        self.write(name, &text);
+    }
+}
+
+/// Format a markdown-ish table from rows of equal length.
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths.iter()) {
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push_str(&format!(
+        "|{}\n",
+        widths.iter().map(|w| format!("{}-|", "-".repeat(w + 1))).collect::<String>()
+    ));
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Check whether file `path` exists under the artifact dir.
+pub fn artifact_path(env: &BenchEnv, name: &str) -> PathBuf {
+    Path::new(&env.out_dir).join(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formatting_aligns() {
+        let t = format_table(
+            &["model", "auc"],
+            &[vec!["BASM".into(), "0.73".into()], vec!["DIN".into(), "0.71".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[0].contains("model"));
+    }
+}

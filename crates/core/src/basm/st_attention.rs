@@ -1,0 +1,172 @@
+//! Spatiotemporal-aware Target Attention — the StEN \[5\] extension.
+//!
+//! The paper's related work (§V-C) describes its sibling model StEN, whose
+//! "Spatiotemporal-aware Target Attention employed different spatiotemporal
+//! information to generate different parameters and feed them into target
+//! attention". This module implements that idea as an optional upgrade to
+//! BASM's behavior encoder: the activation unit's hidden layer is gated by a
+//! per-sample vector generated from the spatiotemporal context, so *which*
+//! past behaviors matter for a candidate can itself depend on when and where
+//! the request happens.
+
+use basm_tensor::nn::Linear;
+use basm_tensor::{Graph, ParamStore, Prng, Var};
+
+/// Target attention whose activation unit is modulated by the spatiotemporal
+/// context embedding.
+pub struct StTargetAttention {
+    l1: Linear,
+    gate: Linear,
+    l2: Linear,
+    dim: usize,
+    hidden: usize,
+}
+
+impl StTargetAttention {
+    /// `dim` is the query/key width, `ctx_dim` the context width, `hidden`
+    /// the activation-unit width.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut Prng,
+        name: &str,
+        dim: usize,
+        ctx_dim: usize,
+        hidden: usize,
+    ) -> Self {
+        let l1 = Linear::new(store, rng, &format!("{name}.l1"), 4 * dim, hidden, true);
+        let gate = Linear::new(store, rng, &format!("{name}.gate"), ctx_dim, hidden, true);
+        // Neutral gate at init: pre-activation 1 → LeakyReLU(1) = 1.
+        let b = gate.b.expect("gate bias");
+        store.value_mut(b).data_mut().iter_mut().for_each(|v| *v = 1.0);
+        let l2 = Linear::new(store, rng, &format!("{name}.l2"), hidden, 1, true);
+        Self { l1, gate, l2, dim, hidden }
+    }
+
+    /// Attend `query [m, dim]` over `seq [m, t*dim]` (mask `[m, t]`) under
+    /// context `ctx [m, ctx_dim]`. Returns `(pooled [m, dim], att [m, t])`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        query: Var,
+        seq: Var,
+        mask: Var,
+        ctx: Var,
+        t: usize,
+    ) -> (Var, Var) {
+        let d = self.dim;
+        let m = g.value(query).rows();
+        debug_assert_eq!(g.value(seq).shape(), (m, t * d));
+
+        let seq_flat = g.reshape(seq, m * t, d);
+        let q_rep = g.repeat_rows(query, t);
+        let diff = g.sub(q_rep, seq_flat);
+        let prod = g.mul(q_rep, seq_flat);
+        let feats = g.concat_cols(&[q_rep, seq_flat, diff, prod]); // [m*t, 4d]
+
+        let h_raw = self.l1.forward(g, store, feats);
+        let h = g.leaky_relu(h_raw, 0.01); // [m*t, hidden]
+
+        // Context gate, repeated per position.
+        let gate_raw = self.gate.forward(g, store, ctx);
+        let gate = g.leaky_relu(gate_raw, 0.01); // [m, hidden], ≈1 at init
+        let gate_rep = g.repeat_rows(gate, t); // [m*t, hidden]
+        let gated = g.mul(h, gate_rep);
+
+        let scores_flat = self.l2.forward(g, store, gated);
+        let scores = g.reshape(scores_flat, m, t);
+        let att = g.masked_softmax_rows(scores, mask);
+        let pooled = g.seq_weighted_sum(seq, att, t, d);
+        (pooled, att)
+    }
+
+    /// Trainable scalars.
+    pub fn num_params(&self) -> usize {
+        self.l1.num_params() + self.gate.num_params() + self.l2.num_params()
+    }
+
+    /// Activation-unit width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basm_tensor::Tensor;
+
+    fn setup() -> (StTargetAttention, ParamStore, Prng) {
+        let mut store = ParamStore::new();
+        let mut rng = Prng::seeded(31);
+        let att = StTargetAttention::new(&mut store, &mut rng, "sta", 4, 6, 8);
+        (att, store, rng)
+    }
+
+    #[test]
+    fn shapes_and_masking() {
+        let (att, store, mut rng) = setup();
+        let mut g = Graph::new();
+        let q = g.input(rng.randn(3, 4, 1.0));
+        let seq = g.input(rng.randn(3, 5 * 4, 1.0));
+        let mut mask = Tensor::ones(3, 5);
+        mask.row_mut(1).iter_mut().for_each(|m| *m = 0.0);
+        let mask = g.input(mask);
+        let ctx = g.input(rng.randn(3, 6, 1.0));
+        let (pooled, weights) = att.forward(&mut g, &store, q, seq, mask, ctx, 5);
+        assert_eq!(g.value(pooled).shape(), (3, 4));
+        assert_eq!(g.value(weights).shape(), (3, 5));
+        assert!(g.value(pooled).row(1).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn context_changes_attention() {
+        // Same query/sequence under two contexts must attend differently
+        // once the gate departs from its neutral init.
+        let (att, mut store, mut rng) = setup();
+        // Perturb the gate weights so contexts actually matter.
+        let gate_w = att.gate.w;
+        store.value_mut(gate_w).data_mut().iter_mut().enumerate().for_each(|(i, v)| {
+            *v += if i % 2 == 0 { 0.5 } else { -0.5 };
+        });
+        let mut g = Graph::new();
+        let q_val = rng.randn(1, 4, 1.0);
+        let seq_val = rng.randn(1, 3 * 4, 1.0);
+        let q1 = g.input(q_val.clone());
+        let q2 = g.input(q_val);
+        let s1 = g.input(seq_val.clone());
+        let s2 = g.input(seq_val);
+        let m1 = g.input(Tensor::ones(1, 3));
+        let m2 = g.input(Tensor::ones(1, 3));
+        let c1 = g.input(rng.randn(1, 6, 2.0));
+        let c2 = g.input(rng.randn(1, 6, 2.0));
+        let (_, a1) = att.forward(&mut g, &store, q1, s1, m1, c1, 3);
+        let (_, a2) = att.forward(&mut g, &store, q2, s2, m2, c2, 3);
+        let diff: f32 = g
+            .value(a1)
+            .data()
+            .iter()
+            .zip(g.value(a2).data())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(diff > 1e-5, "attention should depend on the context");
+    }
+
+    #[test]
+    fn gradients_reach_gate() {
+        let (att, mut store, mut rng) = setup();
+        let mut g = Graph::new();
+        let q = g.input(rng.randn(4, 4, 1.0));
+        let seq = g.input(rng.randn(4, 3 * 4, 1.0));
+        let mask = g.input(Tensor::ones(4, 3));
+        let ctx = g.input(rng.randn(4, 6, 1.0));
+        let (pooled, _) = att.forward(&mut g, &store, q, seq, mask, ctx, 3);
+        let sq = g.square(pooled);
+        let loss = g.mean_all(sq);
+        g.backward(loss);
+        store.accumulate_grads(&g);
+        assert!(store.grad(att.gate.w).max_abs() > 0.0);
+        assert!(store.grad(att.l1.w).max_abs() > 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Spatiotemporal-Aware Embedding Layer (StAEL, §II-B).
+//!
+//! For each non-context field `j`, a gate attention computes
+//! `α_j = 2 σ(W_p [x_j; x_c] + b_p)` (Eq. 6) and scales the whole field
+//! embedding: `h_j = α_j x_j` (Eq. 5). The ×2 lets the gate both strengthen
+//! (α > 1) and weaken (α < 1) a field depending on the spatiotemporal
+//! context.
+
+use basm_tensor::nn::Linear;
+use basm_tensor::{Graph, ParamStore, Prng, Var};
+
+/// One gate per adapted field.
+pub struct StAel {
+    gates: Vec<Linear>,
+}
+
+impl StAel {
+    /// `field_dims` are the widths of the fields to adapt (in order);
+    /// `ctx_dim` is the width of the spatiotemporal context field.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut Prng,
+        name: &str,
+        field_dims: &[usize],
+        ctx_dim: usize,
+    ) -> Self {
+        let gates = field_dims
+            .iter()
+            .enumerate()
+            .map(|(j, &d)| {
+                Linear::new(store, rng, &format!("{name}.gate{j}"), d + ctx_dim, 1, true)
+            })
+            .collect();
+        Self { gates }
+    }
+
+    /// Apply Eq. 5/6 to each field given the context embedding `ctx`.
+    /// Returns `(adapted fields, α weights)`, both in input order; every α is
+    /// `[B, 1]` with values in `(0, 2)`.
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        fields: &[Var],
+        ctx: Var,
+    ) -> (Vec<Var>, Vec<Var>) {
+        assert_eq!(fields.len(), self.gates.len(), "StAEL: field count mismatch");
+        let mut adapted = Vec::with_capacity(fields.len());
+        let mut alphas = Vec::with_capacity(fields.len());
+        for (&x, gate) in fields.iter().zip(self.gates.iter()) {
+            let gin = g.concat_cols(&[x, ctx]);
+            let raw = gate.forward(g, store, gin);
+            let sig = g.sigmoid(raw);
+            let alpha = g.scale(sig, 2.0); // [B,1] in (0,2)
+            adapted.push(g.mul_col(x, alpha));
+            alphas.push(alpha);
+        }
+        (adapted, alphas)
+    }
+
+    /// Trainable scalars.
+    pub fn num_params(&self) -> usize {
+        self.gates.iter().map(Linear::num_params).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basm_tensor::Tensor;
+
+    fn setup(dims: &[usize], ctx: usize) -> (StAel, ParamStore, Prng) {
+        let mut store = ParamStore::new();
+        let mut rng = Prng::seeded(3);
+        let layer = StAel::new(&mut store, &mut rng, "stael", dims, ctx);
+        (layer, store, rng)
+    }
+
+    #[test]
+    fn alphas_bounded_and_shapes_preserved() {
+        let (layer, store, mut rng) = setup(&[4, 6], 3);
+        let mut g = Graph::new();
+        let f0 = g.input(rng.randn(5, 4, 2.0));
+        let f1 = g.input(rng.randn(5, 6, 2.0));
+        let ctx = g.input(rng.randn(5, 3, 2.0));
+        let (adapted, alphas) = layer.forward(&mut g, &store, &[f0, f1], ctx);
+        assert_eq!(adapted.len(), 2);
+        assert_eq!(g.value(adapted[0]).shape(), (5, 4));
+        assert_eq!(g.value(adapted[1]).shape(), (5, 6));
+        for &a in &alphas {
+            assert_eq!(g.value(a).shape(), (5, 1));
+            for &v in g.value(a).data() {
+                assert!(v > 0.0 && v < 2.0, "α out of (0,2): {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn adapted_field_is_alpha_times_input() {
+        let (layer, store, mut rng) = setup(&[3], 2);
+        let mut g = Graph::new();
+        let x = g.input(rng.randn(4, 3, 1.0));
+        let ctx = g.input(rng.randn(4, 2, 1.0));
+        let (adapted, alphas) = layer.forward(&mut g, &store, &[x], ctx);
+        for r in 0..4 {
+            let a = g.value(alphas[0]).get(r, 0);
+            for c in 0..3 {
+                let want = a * g.value(x).get(r, c);
+                let got = g.value(adapted[0]).get(r, c);
+                assert!((want - got).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_depends_on_context() {
+        let (layer, store, mut rng) = setup(&[3], 2);
+        let mut g = Graph::new();
+        let x = g.input(rng.randn(1, 3, 1.0));
+        let c1 = g.input(Tensor::from_vec(1, 2, vec![3.0, -3.0]));
+        let c2 = g.input(Tensor::from_vec(1, 2, vec![-3.0, 3.0]));
+        let (_, a1) = layer.forward(&mut g, &store, &[x], c1);
+        let (_, a2) = layer.forward(&mut g, &store, &[x], c2);
+        assert_ne!(g.value(a1[0]).item(), g.value(a2[0]).item());
+    }
+
+    #[test]
+    fn gradients_reach_gate_params() {
+        let (layer, mut store, mut rng) = setup(&[3], 2);
+        let mut g = Graph::new();
+        let x = g.input(rng.randn(4, 3, 1.0));
+        let ctx = g.input(rng.randn(4, 2, 1.0));
+        let (adapted, _) = layer.forward(&mut g, &store, &[x], ctx);
+        let sq = g.square(adapted[0]);
+        let loss = g.mean_all(sq);
+        g.backward(loss);
+        store.accumulate_grads(&g);
+        assert!(store.grad(layer.gates[0].w).max_abs() > 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Model checkpointing: the AOP-training → RTP-serving handoff of Fig. 13.
+//!
+//! Captured state: dense parameters, the primary embedding store, and every
+//! batch-norm layer's running statistics. Models holding *auxiliary*
+//! embedding stores (Wide&Deep's wide tables) round-trip only their primary
+//! store through these helpers.
+
+use crate::model::CtrModel;
+use basm_tensor::serialize::{
+    append_embeddings, begin_checkpoint, CheckpointError, ParsedCheckpoint,
+};
+
+/// Serialize a model: dense parameters, embedding tables, and batch-norm
+/// running statistics (without which inference-mode outputs would not
+/// survive the round trip). Stores are borrowed one at a time.
+pub fn save_model(model: &mut dyn CtrModel) -> Vec<u8> {
+    let mut buf = begin_checkpoint(model.params());
+    append_embeddings(&mut buf, &model.embedder().emb);
+    let mut out = buf.freeze().to_vec();
+    // BN section: count, then (mean, var) per layer in model order.
+    let bns = model.bn_layers();
+    out.extend_from_slice(&(bns.len() as u32).to_le_bytes());
+    for bn in bns {
+        out.extend_from_slice(&(bn.dim() as u32).to_le_bytes());
+        for &v in bn.running_mean() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in bn.running_var() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Restore a model from checkpoint bytes (same architecture required).
+pub fn load_model(model: &mut dyn CtrModel, bytes: &[u8]) -> Result<(), CheckpointError> {
+    let parsed = ParsedCheckpoint::parse(bytes)?;
+    let consumed = parsed.consumed();
+    parsed.apply_params(model.params())?;
+    parsed.apply_embeddings(&mut model.embedder().emb)?;
+
+    // BN section.
+    let rest = &bytes[consumed..];
+    let take_u32 = |b: &[u8], at: usize| -> Result<u32, CheckpointError> {
+        b.get(at..at + 4)
+            .map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+            .ok_or(CheckpointError::Truncated)
+    };
+    let n = take_u32(rest, 0)? as usize;
+    let bns = model.bn_layers();
+    if n != bns.len() {
+        return Err(CheckpointError::Missing(format!("{n} BN layers vs {}", bns.len())));
+    }
+    let mut at = 4usize;
+    for bn in bns {
+        let dim = take_u32(rest, at)? as usize;
+        at += 4;
+        if dim != bn.dim() {
+            return Err(CheckpointError::ShapeMismatch("bn running stats".into()));
+        }
+        let need = dim * 8;
+        let slice = rest.get(at..at + need).ok_or(CheckpointError::Truncated)?;
+        let mut mean = Vec::with_capacity(dim);
+        let mut var = Vec::with_capacity(dim);
+        for j in 0..dim {
+            mean.push(f32::from_le_bytes(slice[j * 4..j * 4 + 4].try_into().expect("4")));
+        }
+        for j in 0..dim {
+            var.push(f32::from_le_bytes(
+                slice[dim * 4 + j * 4..dim * 4 + j * 4 + 4].try_into().expect("4"),
+            ));
+        }
+        bn.import_stats(&mean, &var);
+        at += need;
+    }
+    Ok(())
+}
+
+/// Write a checkpoint to disk.
+pub fn save_model_file(
+    model: &mut dyn CtrModel,
+    path: impl AsRef<std::path::Path>,
+) -> std::io::Result<()> {
+    std::fs::write(path, save_model(model))
+}
+
+/// Read a checkpoint from disk into a freshly-constructed model.
+pub fn load_model_file(
+    model: &mut dyn CtrModel,
+    path: impl AsRef<std::path::Path>,
+) -> std::io::Result<()> {
+    let bytes = std::fs::read(path)?;
+    load_model(model, &bytes)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basm::{Basm, BasmConfig};
+    use crate::model::{predict, train_step};
+    use basm_data::{generate_dataset, WorldConfig};
+    use basm_tensor::optim::AdagradDecay;
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_predictions() {
+        let cfg = WorldConfig::tiny();
+        let data = generate_dataset(&cfg);
+        let batch = data.dataset.batch(&(0..16).collect::<Vec<_>>());
+
+        // Train a few steps so weights differ from init.
+        let mut trained = Basm::new(&cfg, BasmConfig::default());
+        let mut opt = AdagradDecay::paper_default();
+        for _ in 0..5 {
+            train_step(&mut trained, &batch, &mut opt, 0.05, None);
+        }
+        let expected = predict(&mut trained, &batch);
+        let bytes = save_model(&mut trained);
+
+        // A freshly-built model with another seed predicts differently...
+        let mut fresh = Basm::new(&cfg, BasmConfig { seed: 99, ..BasmConfig::default() });
+        let before = predict(&mut fresh, &batch);
+        assert_ne!(before, expected);
+        // ...until the checkpoint is restored.
+        load_model(&mut fresh, &bytes).unwrap();
+        let after = predict(&mut fresh, &batch);
+        assert_eq!(after, expected);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let cfg = WorldConfig::tiny();
+        let data = generate_dataset(&cfg);
+        let batch = data.dataset.batch(&[0, 1, 2]);
+        let mut model = Basm::new(&cfg, BasmConfig::default());
+        let expected = predict(&mut model, &batch);
+
+        let path = std::env::temp_dir().join("basm_ckpt_test.bin");
+        save_model_file(&mut model, &path).unwrap();
+        let mut fresh = Basm::new(&cfg, BasmConfig { seed: 5, ..BasmConfig::default() });
+        load_model_file(&mut fresh, &path).unwrap();
+        assert_eq!(predict(&mut fresh, &batch), expected);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn wrong_architecture_fails_loud() {
+        let cfg = WorldConfig::tiny();
+        let mut a = Basm::new(&cfg, BasmConfig::default());
+        let bytes = save_model(&mut a);
+        let mut b = Basm::new(&cfg, BasmConfig { tower: vec![48, 16], ..BasmConfig::default() });
+        assert!(load_model(&mut b, &bytes).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! The model interface shared by BASM and all comparison methods.
+
+use basm_data::Batch;
+use basm_tensor::graph::stable_sigmoid;
+use basm_tensor::optim::Optimizer;
+use basm_tensor::{Graph, ParamStore, Var};
+
+use crate::features::FeatureEmbedder;
+
+/// Everything a forward pass exposes.
+pub struct Forward {
+    /// `[B, 1]` pre-sigmoid logits.
+    pub logits: Var,
+    /// The final hidden representation `[B, H]` (t-SNE analysis, Fig. 10/11).
+    pub hidden: Var,
+    /// StAEL's per-field spatiotemporal weights `α_j` `[B, 1]` each, in
+    /// `basm_data::FIELDS` order minus the context field (Fig. 8/9). Empty
+    /// for models without an aware embedding layer.
+    pub alphas: Vec<Var>,
+}
+
+/// A trainable CTR model over [`Batch`]es.
+pub trait CtrModel {
+    /// Display name (Table IV row label).
+    fn name(&self) -> &str;
+
+    /// Build the forward computation for a batch. `training` switches batch
+    /// normalization between batch and running statistics.
+    fn forward(&mut self, g: &mut Graph, batch: &Batch, training: bool) -> Forward;
+
+    /// The dense parameter store.
+    fn params(&mut self) -> &mut ParamStore;
+
+    /// The sparse embedding side.
+    fn embedder(&mut self) -> &mut FeatureEmbedder;
+
+    /// Apply sparse (embedding) updates after backward. Models with extra
+    /// embedding stores (e.g. Wide&Deep's wide tables) override this.
+    fn apply_sparse_grads(&mut self, g: &Graph, lr: f32) {
+        self.embedder().emb.apply_grads(g, lr);
+    }
+
+    /// Discard pending sparse-lookup journals (after inference passes).
+    fn clear_journals(&mut self) {
+        self.embedder().emb.clear_journal();
+    }
+
+    /// The model's batch-norm layers in a deterministic order. Checkpointing
+    /// serializes their running statistics; models without BN keep the empty
+    /// default.
+    fn bn_layers(&mut self) -> Vec<&mut basm_tensor::nn::BatchNorm1d> {
+        Vec::new()
+    }
+
+    /// Total trainable scalars (dense + sparse).
+    fn num_params(&mut self) -> usize {
+        let dense = self.params().num_scalars();
+        dense + self.embedder().num_params()
+    }
+
+    /// Approximate training memory in bytes: dense params + grads, sparse
+    /// tables + Adagrad state. Optimizer state for dense params is added by
+    /// the trainer (it owns the optimizer).
+    fn memory_bytes(&mut self) -> usize {
+        let dense = self.params().memory_bytes();
+        dense + self.embedder().memory_bytes()
+    }
+}
+
+/// One optimization step shared by every model: BCE loss (Eq. 19), backward,
+/// dense update through `opt`, sparse Adagrad update at the same learning
+/// rate. Returns the batch loss.
+pub fn train_step(
+    model: &mut dyn CtrModel,
+    batch: &Batch,
+    opt: &mut dyn Optimizer,
+    lr: f32,
+    grad_clip: Option<f64>,
+) -> f32 {
+    let mut g = Graph::new();
+    let fwd = model.forward(&mut g, batch, true);
+    let labels = g.input(batch.labels.clone());
+    let loss = g.bce_with_logits(fwd.logits, labels);
+    g.backward(loss);
+
+    let store = model.params();
+    store.zero_grads();
+    store.accumulate_grads(&g);
+    if let Some(max) = grad_clip {
+        store.clip_grad_norm(max);
+    }
+    opt.step(store, lr);
+    model.apply_sparse_grads(&g, lr);
+    g.value(loss).item()
+}
+
+/// Inference: predicted click probabilities for a batch.
+pub fn predict(model: &mut dyn CtrModel, batch: &Batch) -> Vec<f32> {
+    let mut g = Graph::new();
+    let fwd = model.forward(&mut g, batch, false);
+    let probs = g
+        .value(fwd.logits)
+        .data()
+        .iter()
+        .map(|&z| stable_sigmoid(z))
+        .collect();
+    model.clear_journals();
+    probs
+}
+
+/// Inference that also returns the final hidden representation (for the
+/// t-SNE analyses) and StAEL α weights.
+pub struct Inference {
+    /// Predicted probabilities.
+    pub probs: Vec<f32>,
+    /// `[B, H]` final hidden activations.
+    pub hidden: basm_tensor::Tensor,
+    /// Per-field α values `[B]` each (empty when the model has no StAEL).
+    pub alphas: Vec<Vec<f32>>,
+}
+
+/// Run inference capturing hidden states and α weights.
+pub fn predict_full(model: &mut dyn CtrModel, batch: &Batch) -> Inference {
+    let mut g = Graph::new();
+    let fwd = model.forward(&mut g, batch, false);
+    let probs = g
+        .value(fwd.logits)
+        .data()
+        .iter()
+        .map(|&z| stable_sigmoid(z))
+        .collect();
+    let hidden = g.value(fwd.hidden).clone();
+    let alphas = fwd
+        .alphas
+        .iter()
+        .map(|&a| g.value(a).data().to_vec())
+        .collect();
+    model.clear_journals();
+    Inference { probs, hidden, alphas }
+}

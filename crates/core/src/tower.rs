@@ -1,0 +1,99 @@
+//! A plain (non-modulated) FC + BN tower — the static counterpart of StABT,
+//! used by the `w/o StABT` ablation and by several baselines.
+
+use basm_tensor::nn::{Activation, BatchNorm1d, Linear};
+use basm_tensor::{Graph, ParamStore, Prng, Var};
+
+/// `Linear → BatchNorm → activation` stack with a 1-unit output head.
+pub struct PlainBnTower {
+    layers: Vec<(Linear, BatchNorm1d)>,
+    head: Linear,
+    act: Activation,
+    out_dim: usize,
+}
+
+impl PlainBnTower {
+    /// `dims = [in, h1, ..., hk]`; the head maps `hk → 1`.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut Prng,
+        name: &str,
+        dims: &[usize],
+        act: Activation,
+    ) -> Self {
+        assert!(dims.len() >= 2, "PlainBnTower needs at least one layer");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                (
+                    Linear::new(store, rng, &format!("{name}.fc{i}"), w[0], w[1], true),
+                    BatchNorm1d::new(store, &format!("{name}.bn{i}"), w[1]),
+                )
+            })
+            .collect();
+        let head = Linear::new(store, rng, &format!("{name}.head"), *dims.last().unwrap(), 1, true);
+        Self { layers, head, act, out_dim: *dims.last().unwrap() }
+    }
+
+    /// Run the tower; returns `(logit [B,1], final hidden [B, hk])`.
+    pub fn forward(
+        &mut self,
+        g: &mut Graph,
+        store: &ParamStore,
+        h: Var,
+        training: bool,
+    ) -> (Var, Var) {
+        let mut cur = h;
+        for (fc, bn) in &mut self.layers {
+            let z = fc.forward(g, store, cur);
+            let n = bn.forward(g, store, z, training);
+            cur = self.act.apply(g, n);
+        }
+        let logit = self.head.forward(g, store, cur);
+        (logit, cur)
+    }
+
+    /// Final hidden width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Trainable scalars.
+    pub fn num_params(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|(fc, bn)| fc.num_params() + bn.num_params())
+            .sum::<usize>()
+            + self.head.num_params()
+    }
+
+    /// The tower's batch-norm layers in construction order (checkpointing).
+    pub fn bn_layers_mut(&mut self) -> Vec<&mut BatchNorm1d> {
+        self.layers.iter_mut().map(|(_, bn)| bn).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_finite_eval() {
+        let mut store = ParamStore::new();
+        let mut rng = Prng::seeded(1);
+        let mut tower =
+            PlainBnTower::new(&mut store, &mut rng, "t", &[10, 6, 3], Activation::LeakyRelu(0.01));
+        for _ in 0..3 {
+            let mut g = Graph::new();
+            let h = g.input(rng.randn(16, 10, 1.0));
+            let (logit, hidden) = tower.forward(&mut g, &store, h, true);
+            assert_eq!(g.value(logit).shape(), (16, 1));
+            assert_eq!(g.value(hidden).shape(), (16, 3));
+        }
+        let mut g = Graph::new();
+        let h = g.input(rng.randn(1, 10, 1.0));
+        let (logit, _) = tower.forward(&mut g, &store, h, false);
+        assert!(g.value(logit).all_finite());
+    }
+}

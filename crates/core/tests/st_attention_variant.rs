@@ -1,0 +1,33 @@
+//! The StEN-extension BASM variant trains and differs from plain BASM.
+
+use basm_core::basm::{Basm, BasmConfig};
+use basm_core::model::{predict, train_step, CtrModel};
+use basm_data::{generate_dataset, WorldConfig};
+use basm_tensor::optim::AdagradDecay;
+
+#[test]
+fn st_attention_variant_trains() {
+    let cfg = WorldConfig::tiny();
+    let data = generate_dataset(&cfg);
+    let batch = data.dataset.batch(&(0..64).collect::<Vec<_>>());
+    let mut model = Basm::new(&cfg, BasmConfig::default().with_st_attention());
+    let mut opt = AdagradDecay::paper_default();
+    let first = train_step(&mut model, &batch, &mut opt, 0.05, Some(10.0));
+    for _ in 0..10 {
+        train_step(&mut model, &batch, &mut opt, 0.05, Some(10.0));
+    }
+    let last = train_step(&mut model, &batch, &mut opt, 0.05, Some(10.0));
+    assert!(last < first, "StEN-attention BASM should fit: {first} -> {last}");
+}
+
+#[test]
+fn variant_has_different_parameterization() {
+    let cfg = WorldConfig::tiny();
+    let mut plain = Basm::new(&cfg, BasmConfig::default());
+    let mut sten = Basm::new(&cfg, BasmConfig::default().with_st_attention());
+    assert_ne!(plain.num_params(), sten.num_params());
+
+    let data = generate_dataset(&cfg);
+    let batch = data.dataset.batch(&[0, 1, 2, 3]);
+    assert_ne!(predict(&mut plain, &batch), predict(&mut sten, &batch));
+}

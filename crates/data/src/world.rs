@@ -1,0 +1,507 @@
+//! The generative spatiotemporal world: cities, users, items and the
+//! ground-truth click model.
+//!
+//! The world implants exactly the two mechanisms the paper attributes its
+//! gains to:
+//!
+//! 1. **Spatiotemporal bias** (Fig. 2 / Fig. 6): the base click propensity
+//!    shifts with time-period, hour and city.
+//! 2. **Time/space-varying feature importance** (Fig. 8 / Fig. 9): how much
+//!    each signal (user taste, price match, category preference, item
+//!    popularity, behavior-sequence affinity) contributes to the click logit
+//!    depends on the time-period and on the city's activity level.
+//!
+//! Models that can adapt their parameters to the spatiotemporal context can
+//! exploit both; static-parameter models cannot — which is the causal
+//! structure behind the paper's Table IV ordering.
+
+use crate::config::WorldConfig;
+use crate::schema::TimePeriod;
+use basm_tensor::Prng;
+
+/// A city with Zipf-distributed traffic and its own click-propensity offset.
+#[derive(Debug, Clone)]
+pub struct City {
+    /// Relative traffic weight (head city ≈ 1.0).
+    pub traffic: f64,
+    /// Additive logit offset: some cities simply click more (Fig. 2b).
+    pub bias: f32,
+    /// Fraction of all users homed in this city (filled by the generator).
+    pub user_share: f32,
+    /// City-specific multiplier on the personal-taste signal: how much local
+    /// decisions hinge on individual preference vs. convention. Continuous
+    /// per-city variation that a 5-domain partition cannot express.
+    pub taste_factor: f32,
+    /// City-specific multiplier on the popularity signal.
+    pub pop_factor: f32,
+    /// Phase of the city's within-day importance drift (hours).
+    pub hour_phase: f32,
+}
+
+/// A user with a home location, latent taste and behavioral traits.
+#[derive(Debug, Clone)]
+pub struct UserProfile {
+    /// Home city index.
+    pub city: u16,
+    /// Home geohash cell `(x, y)` within the city grid.
+    pub geo: (u8, u8),
+    /// Latent taste vector (matched against item quality vectors).
+    pub taste: Vec<f32>,
+    /// Preferred price tier in `[0, 4]`.
+    pub price_pref: f32,
+    /// Preferred category.
+    pub fav_category: u16,
+    /// Secondary preferred category.
+    pub alt_category: u16,
+    /// Session-rate multiplier (heavy vs light users).
+    pub activity: f32,
+}
+
+/// An item (shop) with location, taxonomy and latent quality.
+#[derive(Debug, Clone)]
+pub struct ItemProfile {
+    /// City the shop is in.
+    pub city: u16,
+    /// Geohash cell within the city grid.
+    pub geo: (u8, u8),
+    /// Category index.
+    pub category: u16,
+    /// Brand index.
+    pub brand: u16,
+    /// Price tier in `[0, 4]`.
+    pub price_tier: f32,
+    /// Latent quality vector.
+    pub quality: Vec<f32>,
+    /// Baseline popularity in `[0, 1]`.
+    pub popularity: f32,
+}
+
+/// The spatiotemporal context of one impression.
+#[derive(Debug, Clone, Copy)]
+pub struct Context {
+    /// Day index (0-based over recorded + warmup days).
+    pub day: u16,
+    /// Hour of day.
+    pub hour: u8,
+    /// Derived time-period.
+    pub tp: TimePeriod,
+    /// City of the request.
+    pub city: u16,
+    /// Requesting geohash cell.
+    pub geo: (u8, u8),
+    /// Exposure position in the result list (0-based).
+    pub position: u8,
+}
+
+/// Summary of the requesting user's recent behavior used by the click model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BehaviorSummary {
+    /// Fraction of recent clicks in the candidate's category.
+    pub cat_affinity: f32,
+    /// Fraction of recent clicks in the candidate's category *and* the
+    /// current time-period (the StSTL filtering signal).
+    pub cat_tp_affinity: f32,
+}
+
+/// The fully-materialized world.
+pub struct World {
+    /// Configuration it was built from.
+    pub config: WorldConfig,
+    /// Cities, Zipf-ordered (index 0 is the largest).
+    pub cities: Vec<City>,
+    /// All users.
+    pub users: Vec<UserProfile>,
+    /// All items.
+    pub items: Vec<ItemProfile>,
+    /// Relative exposure weight of each hour (bimodal lunch/dinner peaks).
+    pub hour_weights: [f64; 24],
+    /// Additive logit offset per time-period.
+    pub time_bias: [f32; 5],
+    /// Small residual per-hour offset inside a time-period.
+    pub hour_bias: [f32; 24],
+}
+
+impl World {
+    /// Build a world from a configuration (deterministic in `config.seed`).
+    pub fn generate(config: WorldConfig) -> Self {
+        config.validate();
+        let mut rng = Prng::seeded(config.seed);
+        let s = config.st_strength;
+
+        // Cities: Zipf traffic, alternating-sign click bias so city CTRs
+        // spread like Fig. 2b.
+        let mut cities: Vec<City> = (0..config.n_cities)
+            .map(|i| City {
+                traffic: 1.0 / (i as f64 + 1.0).powf(1.05),
+                bias: s * rng.normal_with(0.0, 0.3).clamp(-0.6, 0.6),
+                user_share: 0.0,
+                taste_factor: 1.0 + s * rng.normal_with(0.0, 0.25).clamp(-0.45, 0.45),
+                pop_factor: 1.0 + s * rng.normal_with(0.0, 0.25).clamp(-0.45, 0.45),
+                hour_phase: rng.uniform_range(0.0, 24.0),
+            })
+            .collect();
+
+        // Users: homed by Zipf over cities.
+        let users: Vec<UserProfile> = (0..config.n_users)
+            .map(|_| {
+                let city = rng.zipf(config.n_cities, 1.05) as u16;
+                let fav = rng.below(config.n_categories) as u16;
+                let mut alt = rng.below(config.n_categories) as u16;
+                if alt == fav {
+                    alt = (alt + 1) % config.n_categories as u16;
+                }
+                UserProfile {
+                    city,
+                    geo: (rng.below(config.geo_grid) as u8, rng.below(config.geo_grid) as u8),
+                    taste: (0..config.latent_dim).map(|_| rng.normal() * 0.8).collect(),
+                    price_pref: rng.uniform_range(0.0, 4.0),
+                    fav_category: fav,
+                    alt_category: alt,
+                    activity: (0.3 + rng.uniform() * 1.7).powi(2) / 2.0,
+                }
+            })
+            .collect();
+        let mut counts = vec![0usize; config.n_cities];
+        for u in &users {
+            counts[u.city as usize] += 1;
+        }
+        for (c, &n) in cities.iter_mut().zip(counts.iter()) {
+            c.user_share = n as f32 / config.n_users as f32;
+        }
+
+        // Items: placed across cities proportional to traffic.
+        let traffic: Vec<f64> = cities.iter().map(|c| c.traffic).collect();
+        let items: Vec<ItemProfile> = (0..config.n_items)
+            .map(|_| {
+                let city = rng.weighted(&traffic) as u16;
+                ItemProfile {
+                    city,
+                    geo: (rng.below(config.geo_grid) as u8, rng.below(config.geo_grid) as u8),
+                    category: rng.zipf(config.n_categories, 0.9) as u16,
+                    brand: rng.zipf(config.n_brands, 1.0) as u16,
+                    price_tier: rng.uniform_range(0.0, 4.0),
+                    quality: (0..config.latent_dim).map(|_| rng.normal() * 0.8).collect(),
+                    popularity: rng.uniform().powi(2),
+                }
+            })
+            .collect();
+
+        // Hour exposure curve: breakfast bump, lunch and dinner peaks, thin
+        // night tail (Fig. 2a).
+        let mut hour_weights = [0.0f64; 24];
+        for (h, w) in hour_weights.iter_mut().enumerate() {
+            let hf = h as f64;
+            let peak = |mu: f64, sigma: f64, amp: f64| {
+                amp * (-((hf - mu) * (hf - mu)) / (2.0 * sigma * sigma)).exp()
+            };
+            *w = 0.05
+                + peak(8.0, 1.2, 0.35)
+                + peak(12.0, 1.4, 1.0)
+                + peak(15.5, 1.5, 0.25)
+                + peak(19.0, 1.6, 0.9)
+                + peak(22.5, 1.5, 0.15);
+        }
+
+        // Time-period bias: people click-through more decisively at meals.
+        let time_bias = [
+            -0.25 * s, // breakfast
+            0.30 * s,  // lunch
+            -0.35 * s, // afternoon tea (browsing mode)
+            0.25 * s,  // dinner
+            -0.15 * s, // night
+        ];
+        let mut hour_bias = [0.0f32; 24];
+        for (h, b) in hour_bias.iter_mut().enumerate() {
+            *b = s * 0.08 * ((h as f32) * 0.7).sin();
+        }
+
+        Self { config, cities, users, items, hour_weights, time_bias, hour_bias }
+    }
+
+    /// Smooth within-day modulation: the spatiotemporal scenario is
+    /// *continuous and non-enumerable* (§I) — importance drifts hour by hour
+    /// (phase-shifted per city), so no finite domain partition captures it.
+    fn hour_drift(&self, hour: u8, city: u16, amp: f32) -> f32 {
+        let phase = self.cities[city as usize].hour_phase;
+        1.0 + self.config.st_strength
+            * amp
+            * ((hour as f32 - phase) * std::f32::consts::TAU / 24.0).sin()
+    }
+
+    /// Weight of the user-taste signal: peaks at meals, amplified in cities
+    /// with more users and by each city's own taste factor, drifting
+    /// continuously within the day.
+    pub fn w_taste(&self, tp: TimePeriod, city: u16, hour: u8) -> f32 {
+        let base = match tp {
+            TimePeriod::Breakfast => 0.45,
+            TimePeriod::Lunch => 1.15,
+            TimePeriod::AfternoonTea => 0.60,
+            TimePeriod::Dinner => 1.10,
+            TimePeriod::Night => 0.50,
+        };
+        let c = &self.cities[city as usize];
+        let city_boost = (0.75 + 1.5 * c.user_share) * c.taste_factor;
+        self.blend(base * city_boost * self.hour_drift(hour, city, 0.30), 0.7)
+    }
+
+    /// Weight of the price-match signal (matters at meals, drifts hourly).
+    pub fn w_price(&self, tp: TimePeriod, city: u16, hour: u8) -> f32 {
+        let base = match tp {
+            TimePeriod::Breakfast => 0.50,
+            TimePeriod::Lunch => 1.00,
+            TimePeriod::AfternoonTea => 0.20,
+            TimePeriod::Dinner => 0.90,
+            TimePeriod::Night => 0.30,
+        };
+        self.blend(base * self.hour_drift(hour.wrapping_add(6), city, 0.25), 0.55)
+    }
+
+    /// Weight of the category-preference signal (matters when browsing).
+    pub fn w_category(&self, tp: TimePeriod, city: u16, hour: u8) -> f32 {
+        let base = match tp {
+            TimePeriod::Breakfast => 0.55,
+            TimePeriod::Lunch => 0.40,
+            TimePeriod::AfternoonTea => 1.15,
+            TimePeriod::Dinner => 0.40,
+            TimePeriod::Night => 0.65,
+        };
+        self.blend(base * self.hour_drift(hour.wrapping_add(12), city, 0.25), 0.6)
+    }
+
+    /// Weight of raw item popularity, higher off-peak, in small cities, and
+    /// scaled by the city's own popularity factor.
+    pub fn w_popularity(&self, tp: TimePeriod, city: u16, hour: u8) -> f32 {
+        let base = match tp {
+            TimePeriod::Breakfast => 0.85,
+            TimePeriod::Lunch => 0.40,
+            TimePeriod::AfternoonTea => 0.60,
+            TimePeriod::Dinner => 0.40,
+            TimePeriod::Night => 0.90,
+        };
+        let c = &self.cities[city as usize];
+        let small_city_boost = (1.0 + (0.25 - c.user_share).max(0.0)) * c.pop_factor;
+        self.blend(base * small_city_boost * self.hour_drift(hour.wrapping_add(18), city, 0.25), 0.6)
+    }
+
+    /// Weight of the behavior-sequence affinity (periodic re-ordering at
+    /// meals — the signal DIN-family models extract).
+    pub fn w_sequence(&self, tp: TimePeriod, city: u16, hour: u8) -> f32 {
+        let base = match tp {
+            TimePeriod::Lunch | TimePeriod::Dinner => 0.95,
+            TimePeriod::Breakfast => 0.65,
+            _ => 0.40,
+        };
+        self.blend(base * self.hour_drift(hour.wrapping_add(3), city, 0.20), 0.6)
+    }
+
+    /// Interpolate a time-varying weight toward its neutral value according
+    /// to `st_strength` (0 → fully static world).
+    fn blend(&self, value: f32, neutral: f32) -> f32 {
+        neutral + (value - neutral) * self.config.st_strength
+    }
+
+    /// Normalized grid distance between two cells in `[0, 1]`.
+    pub fn geo_distance(&self, a: (u8, u8), b: (u8, u8)) -> f32 {
+        let dx = a.0 as f32 - b.0 as f32;
+        let dy = a.1 as f32 - b.1 as f32;
+        let max = (2.0f32).sqrt() * (self.config.geo_grid.max(2) - 1) as f32;
+        (dx * dx + dy * dy).sqrt() / max
+    }
+
+    /// The ground-truth click logit of `user` on `item` under `ctx`, given a
+    /// summary of the user's recent behavior.
+    pub fn click_logit(
+        &self,
+        user: &UserProfile,
+        item: &ItemProfile,
+        ctx: Context,
+        beh: BehaviorSummary,
+    ) -> f32 {
+        let tp = ctx.tp;
+        let taste: f32 = user
+            .taste
+            .iter()
+            .zip(item.quality.iter())
+            .map(|(&t, &q)| t * q)
+            .sum::<f32>()
+            / (self.config.latent_dim as f32).sqrt();
+        let price_match = 1.0 - (user.price_pref - item.price_tier).abs() / 4.0; // [0,1]
+        let cat_pref = if item.category == user.fav_category {
+            1.0
+        } else if item.category == user.alt_category {
+            0.5
+        } else {
+            0.0
+        };
+        let dist = self.geo_distance(ctx.geo, item.geo);
+
+        self.config.base_logit
+            + self.time_bias[tp.index()]
+            + self.cities[ctx.city as usize].bias
+            + self.hour_bias[ctx.hour as usize]
+            + self.w_taste(tp, ctx.city, ctx.hour) * taste
+            + self.w_price(tp, ctx.city, ctx.hour) * (price_match - 0.5)
+            + self.w_category(tp, ctx.city, ctx.hour) * cat_pref
+            + self.w_popularity(tp, ctx.city, ctx.hour) * (item.popularity - 0.3)
+            + self.w_sequence(tp, ctx.city, ctx.hour)
+                * (0.8 * beh.cat_affinity + 1.2 * beh.cat_tp_affinity)
+            - 0.9 * dist
+            - 0.12 * ctx.position as f32
+    }
+
+    /// Click probability for the same arguments.
+    pub fn click_probability(
+        &self,
+        user: &UserProfile,
+        item: &ItemProfile,
+        ctx: Context,
+        beh: BehaviorSummary,
+        noise: f32,
+    ) -> f32 {
+        let z = self.click_logit(user, item, ctx, beh) + noise;
+        basm_tensor::graph::stable_sigmoid(z)
+    }
+
+    /// Global geohash id of a cell in a city (0 is never used as a real id —
+    /// callers add 1 when embedding).
+    pub fn geohash_id(&self, city: u16, geo: (u8, u8)) -> u32 {
+        let g = self.config.geo_grid as u32;
+        city as u32 * g * g + geo.0 as u32 * g + geo.1 as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_world() -> World {
+        World::generate(WorldConfig::tiny())
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny_world();
+        let b = tiny_world();
+        assert_eq!(a.users[3].taste, b.users[3].taste);
+        assert_eq!(a.items[5].category, b.items[5].category);
+        assert_eq!(a.cities[0].bias, b.cities[0].bias);
+    }
+
+    #[test]
+    fn city_shares_sum_to_one() {
+        let w = tiny_world();
+        let total: f32 = w.cities.iter().map(|c| c.user_share).sum();
+        assert!((total - 1.0).abs() < 1e-4);
+        assert!(w.cities[0].user_share >= w.cities.last().unwrap().user_share);
+    }
+
+    #[test]
+    fn hour_curve_peaks_at_meals() {
+        let w = tiny_world();
+        assert!(w.hour_weights[12] > w.hour_weights[15]);
+        assert!(w.hour_weights[19] > w.hour_weights[15]);
+        assert!(w.hour_weights[12] > w.hour_weights[3] * 5.0);
+    }
+
+    #[test]
+    fn meal_weights_emphasize_user_side() {
+        let w = tiny_world();
+        assert!(w.w_taste(TimePeriod::Lunch, 0, 12) > w.w_taste(TimePeriod::Night, 0, 23));
+        assert!(w.w_price(TimePeriod::Lunch, 0, 12) > w.w_price(TimePeriod::AfternoonTea, 0, 15));
+        assert!(
+            w.w_category(TimePeriod::AfternoonTea, 0, 15) > w.w_category(TimePeriod::Lunch, 0, 12)
+        );
+        assert!(
+            w.w_popularity(TimePeriod::Night, 0, 23) > w.w_popularity(TimePeriod::Lunch, 0, 12)
+        );
+    }
+
+    #[test]
+    fn big_city_boosts_user_taste_weight() {
+        let w = tiny_world();
+        let big = 0u16;
+        let small = (w.config.n_cities - 1) as u16;
+        // Average over hours to isolate the city effect from hour drift.
+        let avg = |city: u16| -> f32 {
+            (0..24).map(|h| w.w_taste(TimePeriod::Lunch, city, h)).sum::<f32>() / 24.0
+        };
+        assert!(avg(big) > avg(small) * 0.8, "{} vs {}", avg(big), avg(small));
+    }
+
+    #[test]
+    fn zero_strength_freezes_spatiotemporal_structure() {
+        let mut cfg = WorldConfig::tiny();
+        cfg.st_strength = 0.0;
+        let w = World::generate(cfg);
+        assert_eq!(w.time_bias, [0.0; 5]);
+        assert!(
+            (w.w_taste(TimePeriod::Lunch, 0, 12) - w.w_taste(TimePeriod::Night, 2, 23)).abs()
+                < 1e-6
+        );
+    }
+
+    #[test]
+    fn click_logit_prefers_matching_items() {
+        let w = tiny_world();
+        let user = &w.users[0];
+        let ctx = Context {
+            day: 0,
+            hour: 12,
+            tp: TimePeriod::Lunch,
+            city: user.city,
+            geo: user.geo,
+            position: 0,
+        };
+        // An item tailor-made for the user...
+        let good = ItemProfile {
+            city: user.city,
+            geo: user.geo,
+            category: user.fav_category,
+            brand: 1,
+            price_tier: user.price_pref,
+            quality: user.taste.clone(),
+            popularity: 0.9,
+        };
+        // ...and its opposite.
+        let bad = ItemProfile {
+            city: user.city,
+            geo: (
+                (w.config.geo_grid - 1 - user.geo.0 as usize) as u8,
+                (w.config.geo_grid - 1 - user.geo.1 as usize) as u8,
+            ),
+            category: (user.fav_category + 2) % w.config.n_categories as u16,
+            brand: 1,
+            price_tier: 4.0 - user.price_pref,
+            quality: user.taste.iter().map(|t| -t).collect(),
+            popularity: 0.05,
+        };
+        let b = BehaviorSummary::default();
+        assert!(w.click_logit(user, &good, ctx, b) > w.click_logit(user, &bad, ctx, b) + 1.0);
+    }
+
+    #[test]
+    fn position_bias_decreases_logit() {
+        let w = tiny_world();
+        let user = &w.users[1];
+        let item = &w.items[1];
+        let mk = |pos| Context {
+            day: 0,
+            hour: 19,
+            tp: TimePeriod::Dinner,
+            city: user.city,
+            geo: user.geo,
+            position: pos,
+        };
+        let b = BehaviorSummary::default();
+        assert!(w.click_logit(user, item, mk(0), b) > w.click_logit(user, item, mk(5), b));
+    }
+
+    #[test]
+    fn geo_distance_bounds() {
+        let w = tiny_world();
+        assert_eq!(w.geo_distance((0, 0), (0, 0)), 0.0);
+        let g = (w.config.geo_grid - 1) as u8;
+        let d = w.geo_distance((0, 0), (g, g));
+        assert!((d - 1.0).abs() < 1e-6);
+    }
+}

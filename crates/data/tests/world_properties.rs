@@ -1,0 +1,118 @@
+//! Property tests: the generator must produce a structurally valid dataset
+//! for *any* small configuration, not just the shipped presets.
+
+use basm_data::{generate_dataset, WorldConfig, DENSE_FEATURES};
+use proptest::prelude::*;
+
+fn small_config() -> impl Strategy<Value = WorldConfig> {
+    (
+        20usize..80,   // users
+        20usize..60,   // items
+        1usize..5,     // cities
+        2usize..8,     // categories
+        2usize..30,    // geo grid selector (mapped below)
+        1u64..1000,    // seed
+        2usize..6,     // seq len
+        40usize..120,  // sessions/day
+        2usize..6,     // candidates per session
+    )
+        .prop_map(
+            |(users, items, cities, cats, grid_sel, seed, seq, sessions, k)| WorldConfig {
+                name: "prop".into(),
+                seed,
+                n_users: users,
+                n_items: items,
+                n_cities: cities,
+                n_categories: cats,
+                n_brands: 5,
+                geo_grid: 2 + grid_sel % 4,
+                latent_dim: 3,
+                seq_len: seq,
+                history_bootstrap: 3,
+                warmup_days: 1,
+                train_days: 1,
+                test_days: 1,
+                sessions_per_day: sessions,
+                candidates_per_session: k,
+                base_logit: -2.0,
+                label_noise: 0.3,
+                st_strength: 1.0,
+                reported_features: 10,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_datasets_are_structurally_valid(cfg in small_config()) {
+        let data = generate_dataset(&cfg);
+        let ds = &data.dataset;
+
+        // Volume: exact when every city pool is deep enough, otherwise an
+        // upper bound (tiny cities can expose fewer than k candidates), and
+        // never less than one exposure per session.
+        prop_assert!(ds.len() <= cfg.expected_impressions());
+        prop_assert!(ds.len() >= cfg.recorded_days() * cfg.sessions_per_day);
+
+        // Column lengths are consistent.
+        prop_assert_eq!(ds.dense.len(), ds.len() * DENSE_FEATURES);
+        prop_assert_eq!(ds.seq_item.len(), ds.len() * cfg.seq_len);
+        prop_assert_eq!(ds.seq_used.len(), ds.len());
+
+        for i in 0..ds.len() {
+            // Ids in range.
+            prop_assert!((ds.user[i] as usize) < cfg.n_users);
+            prop_assert!((ds.item[i] as usize) < cfg.n_items);
+            prop_assert!((ds.city[i] as usize) < cfg.n_cities);
+            prop_assert!((ds.category[i] as usize) < cfg.n_categories);
+            prop_assert!(ds.hour[i] < 24);
+            prop_assert!(ds.tp[i] < 5);
+            prop_assert!((ds.position[i] as usize) < cfg.candidates_per_session);
+            prop_assert!((ds.geohash[i] as usize) < cfg.n_geohash());
+            prop_assert!(ds.label[i] == 0.0 || ds.label[i] == 1.0);
+            prop_assert!((0.0..=1.0).contains(&ds.true_prob[i]));
+
+            // Sequence padding is a suffix, consistent with seq_used.
+            let t = cfg.seq_len;
+            let used = ds.seq_used[i] as usize;
+            prop_assert!(used <= t);
+            for k in 0..t {
+                let valid = ds.seq_item[i * t + k] != 0;
+                prop_assert_eq!(valid, k < used, "padding must be a suffix");
+                if valid {
+                    // Sequence ids are +1 shifted: within vocab after -1.
+                    prop_assert!((ds.seq_item[i * t + k] as usize) <= cfg.n_items);
+                    prop_assert!((ds.seq_cat[i * t + k] as usize) <= cfg.n_categories);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batches_are_well_formed_for_any_config(cfg in small_config()) {
+        let data = generate_dataset(&cfg);
+        let ds = &data.dataset;
+        let take = ds.len().min(9);
+        let batch = ds.batch(&(0..take).collect::<Vec<_>>());
+        prop_assert_eq!(batch.size, take);
+        prop_assert_eq!(batch.labels.shape(), (take, 1));
+        prop_assert_eq!(batch.mask.shape(), (take, cfg.seq_len));
+        prop_assert!(batch.user_ids.iter().all(|&u| u >= 1));
+        prop_assert!(batch.dense.all_finite());
+        // st_mask ⊆ mask everywhere.
+        for (s, m) in batch.st_mask.data().iter().zip(batch.mask.data().iter()) {
+            prop_assert!(s <= m);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_dataset(cfg in small_config()) {
+        let a = generate_dataset(&cfg).dataset;
+        let b = generate_dataset(&cfg).dataset;
+        prop_assert_eq!(a.label, b.label);
+        prop_assert_eq!(a.item, b.item);
+        prop_assert_eq!(a.seq_item, b.seq_item);
+    }
+}

@@ -1,0 +1,110 @@
+//! Area Under the ROC Curve, tie-aware (Mann-Whitney U formulation).
+
+/// AUC of `scores` against binary `labels` (anything > 0.5 is positive).
+///
+/// Ties in scores receive averaged ranks. Returns `None` when the labels
+/// contain only one class (AUC undefined).
+pub fn auc(scores: &[f32], labels: &[f32]) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len(), "auc: length mismatch");
+    let n = scores.len();
+    let n_pos = labels.iter().filter(|&&l| l > 0.5).count();
+    let n_neg = n - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return None;
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+
+    // Average ranks over tie groups; ranks are 1-based.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j + 2) as f64 / 2.0; // mean of 1-based ranks i+1..=j+1
+        for &idx in &order[i..=j] {
+            if labels[idx] > 0.5 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+
+    let u = rank_sum_pos - (n_pos as f64 * (n_pos as f64 + 1.0)) / 2.0;
+    Some(u / (n_pos as f64 * n_neg as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_is_one() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [0.0, 0.0, 1.0, 1.0];
+        assert_eq!(auc(&scores, &labels), Some(1.0));
+    }
+
+    #[test]
+    fn inverted_ranking_is_zero() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [0.0, 0.0, 1.0, 1.0];
+        assert_eq!(auc(&scores, &labels), Some(0.0));
+    }
+
+    #[test]
+    fn all_ties_are_half() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [0.0, 1.0, 0.0, 1.0];
+        assert_eq!(auc(&scores, &labels), Some(0.5));
+    }
+
+    #[test]
+    fn single_class_is_none() {
+        assert_eq!(auc(&[0.1, 0.2], &[1.0, 1.0]), None);
+        assert_eq!(auc(&[0.1, 0.2], &[0.0, 0.0]), None);
+        assert_eq!(auc(&[], &[]), None);
+    }
+
+    #[test]
+    fn matches_pair_counting() {
+        // Compare against the O(n^2) definition on random data.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let n = 300;
+        let scores: Vec<f32> = (0..n).map(|_| (rng.gen::<f32>() * 20.0).round() / 20.0).collect();
+        let labels: Vec<f32> = (0..n).map(|_| f32::from(rng.gen_bool(0.3))).collect();
+        let mut wins = 0.0f64;
+        let mut pairs = 0.0f64;
+        for i in 0..n {
+            if labels[i] < 0.5 {
+                continue;
+            }
+            for j in 0..n {
+                if labels[j] > 0.5 {
+                    continue;
+                }
+                pairs += 1.0;
+                if scores[i] > scores[j] {
+                    wins += 1.0;
+                } else if scores[i] == scores[j] {
+                    wins += 0.5;
+                }
+            }
+        }
+        let expected = wins / pairs;
+        let got = auc(&scores, &labels).unwrap();
+        assert!((got - expected).abs() < 1e-10, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn shift_invariant() {
+        let scores = [0.2, 0.5, 0.3, 0.9, 0.1];
+        let labels = [0.0, 1.0, 0.0, 1.0, 0.0];
+        let shifted: Vec<f32> = scores.iter().map(|s| s + 100.0).collect();
+        assert_eq!(auc(&scores, &labels), auc(&shifted, &labels));
+    }
+}

@@ -1,0 +1,152 @@
+//! Bootstrap confidence intervals for ranking metrics.
+//!
+//! The paper argues 0.1% absolute AUC matters in production; at simulation
+//! scale, knowing the uncertainty band around a measured AUC is what makes a
+//! Table IV comparison honest.
+
+/// A bootstrap estimate: point value plus a percentile interval.
+#[derive(Debug, Clone, Copy)]
+pub struct BootstrapEstimate {
+    /// Metric on the full sample.
+    pub point: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Number of resamples.
+    pub resamples: usize,
+}
+
+impl BootstrapEstimate {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// Whether another estimate's interval overlaps this one.
+    pub fn overlaps(&self, other: &BootstrapEstimate) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+/// Percentile-bootstrap a metric over rows. `metric` receives resampled
+/// (scores, labels) and may return `None` (degenerate resample — skipped).
+/// `level` is the two-sided confidence level (e.g. 0.95). Returns `None` when
+/// the metric is undefined on the full sample.
+pub fn bootstrap_metric(
+    scores: &[f32],
+    labels: &[f32],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+    metric: impl Fn(&[f32], &[f32]) -> Option<f64>,
+) -> Option<BootstrapEstimate> {
+    assert_eq!(scores.len(), labels.len());
+    assert!((0.0..1.0).contains(&(1.0 - level)), "level must be in (0,1)");
+    let n = scores.len();
+    let point = metric(scores, labels)?;
+    // Small xorshift so this crate needs no RNG dependency.
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut estimates = Vec::with_capacity(resamples);
+    let mut s = vec![0.0f32; n];
+    let mut l = vec![0.0f32; n];
+    for _ in 0..resamples {
+        for i in 0..n {
+            let j = (next() % n as u64) as usize;
+            s[i] = scores[j];
+            l[i] = labels[j];
+        }
+        if let Some(v) = metric(&s, &l) {
+            estimates.push(v);
+        }
+    }
+    if estimates.is_empty() {
+        return None;
+    }
+    estimates.sort_by(f64::total_cmp);
+    let alpha = (1.0 - level) / 2.0;
+    let idx = |q: f64| -> usize {
+        ((estimates.len() as f64 - 1.0) * q).round() as usize
+    };
+    Some(BootstrapEstimate {
+        point,
+        lo: estimates[idx(alpha)],
+        hi: estimates[idx(1.0 - alpha)],
+        resamples: estimates.len(),
+    })
+}
+
+/// Convenience: bootstrap the AUC.
+pub fn bootstrap_auc(
+    scores: &[f32],
+    labels: &[f32],
+    resamples: usize,
+    seed: u64,
+) -> Option<BootstrapEstimate> {
+    bootstrap_metric(scores, labels, resamples, 0.95, seed, crate::auc::auc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize, sep: f32) -> (Vec<f32>, Vec<f32>) {
+        // Labels alternate; scores separate the classes by `sep` plus noise.
+        let mut scores = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = (i % 2) as f32;
+            let noise = ((i * 2654435761) % 1000) as f32 / 1000.0;
+            scores.push(label * sep + noise);
+            labels.push(label);
+        }
+        (scores, labels)
+    }
+
+    #[test]
+    fn interval_contains_point_for_clean_data() {
+        let (s, l) = toy(400, 2.0);
+        let est = bootstrap_auc(&s, &l, 200, 7).unwrap();
+        assert!(est.lo <= est.point && est.point <= est.hi);
+        assert!(est.point > 0.99, "separable data: {}", est.point);
+        assert!(est.half_width() < 0.02);
+    }
+
+    #[test]
+    fn noisier_data_wider_interval() {
+        let (s1, l1) = toy(200, 2.0);
+        let (s2, l2) = toy(200, 0.2);
+        let tight = bootstrap_auc(&s1, &l1, 200, 7).unwrap();
+        let loose = bootstrap_auc(&s2, &l2, 200, 7).unwrap();
+        assert!(loose.half_width() > tight.half_width());
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = BootstrapEstimate { point: 0.7, lo: 0.68, hi: 0.72, resamples: 10 };
+        let b = BootstrapEstimate { point: 0.71, lo: 0.69, hi: 0.73, resamples: 10 };
+        let c = BootstrapEstimate { point: 0.8, lo: 0.78, hi: 0.82, resamples: 10 };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn degenerate_sample_is_none() {
+        assert!(bootstrap_auc(&[0.5, 0.6], &[1.0, 1.0], 10, 1).is_none());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let (s, l) = toy(100, 1.0);
+        let a = bootstrap_auc(&s, &l, 50, 3).unwrap();
+        let b = bootstrap_auc(&s, &l, 50, 3).unwrap();
+        assert_eq!(a.lo, b.lo);
+        assert_eq!(a.hi, b.hi);
+    }
+}

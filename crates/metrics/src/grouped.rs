@@ -1,0 +1,134 @@
+//! Impression-weighted grouped AUC: the paper's TAUC (Eq. 20) and CAUC
+//! (Eq. 21).
+//!
+//! `TAUC = Σ_t impressions_t · AUC_t / Σ_t impressions_t` over time-periods;
+//! CAUC is the same over cities. Groups where AUC is undefined (single-class)
+//! are excluded from both numerator and denominator.
+
+use crate::auc::auc;
+use std::collections::HashMap;
+
+/// AUC per group plus its impression count.
+#[derive(Debug, Clone)]
+pub struct GroupAuc {
+    /// Group key.
+    pub key: u32,
+    /// Impressions in the group.
+    pub impressions: usize,
+    /// The group's AUC, if defined.
+    pub auc: Option<f64>,
+}
+
+/// Compute per-group AUCs for arbitrary `u32` group keys.
+pub fn per_group_auc(scores: &[f32], labels: &[f32], groups: &[u32]) -> Vec<GroupAuc> {
+    assert_eq!(scores.len(), labels.len());
+    assert_eq!(scores.len(), groups.len());
+    let mut buckets: HashMap<u32, (Vec<f32>, Vec<f32>)> = HashMap::new();
+    for i in 0..scores.len() {
+        let entry = buckets.entry(groups[i]).or_default();
+        entry.0.push(scores[i]);
+        entry.1.push(labels[i]);
+    }
+    let mut out: Vec<GroupAuc> = buckets
+        .into_iter()
+        .map(|(key, (s, l))| GroupAuc { key, impressions: s.len(), auc: auc(&s, &l) })
+        .collect();
+    out.sort_by_key(|g| g.key);
+    out
+}
+
+/// Impression-weighted average AUC over groups (Eq. 20/21). Returns `None`
+/// when no group has a defined AUC.
+pub fn grouped_auc(scores: &[f32], labels: &[f32], groups: &[u32]) -> Option<f64> {
+    let per = per_group_auc(scores, labels, groups);
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for g in per {
+        if let Some(a) = g.auc {
+            num += g.impressions as f64 * a;
+            den += g.impressions as f64;
+        }
+    }
+    (den > 0.0).then(|| num / den)
+}
+
+/// GAUC — per-**user** impression-weighted AUC, the de-facto standard CTR
+/// ranking metric in industrial systems (the same construction as the
+/// paper's TAUC/CAUC, grouped by user instead of time or city).
+pub fn gauc(scores: &[f32], labels: &[f32], users: &[u32]) -> Option<f64> {
+    grouped_auc(scores, labels, users)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauc_is_user_grouped_auc() {
+        let scores = [0.2, 0.9, 0.8, 0.1];
+        let labels = [0.0, 1.0, 1.0, 0.0];
+        let users = [7u32, 7, 8, 8];
+        assert_eq!(gauc(&scores, &labels, &users), grouped_auc(&scores, &labels, &users));
+        assert_eq!(gauc(&scores, &labels, &users), Some(1.0));
+    }
+
+    #[test]
+    fn single_group_equals_plain_auc() {
+        let scores = [0.1, 0.9, 0.4, 0.7];
+        let labels = [0.0, 1.0, 0.0, 1.0];
+        let groups = [3u32; 4];
+        assert_eq!(grouped_auc(&scores, &labels, &groups), auc(&scores, &labels));
+    }
+
+    #[test]
+    fn weights_by_impressions() {
+        // Group 0: 4 impressions, AUC 1.0; group 1: 2 impressions, AUC 0.0.
+        let scores = [0.1, 0.2, 0.8, 0.9, 0.9, 0.1];
+        let labels = [0.0, 0.0, 1.0, 1.0, 0.0, 1.0];
+        let groups = [0, 0, 0, 0, 1, 1];
+        let got = grouped_auc(&scores, &labels, &groups).unwrap();
+        assert!((got - (4.0 * 1.0 + 2.0 * 0.0) / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_groups_excluded() {
+        // Group 1 has only positives -> excluded entirely.
+        let scores = [0.1, 0.9, 0.5, 0.6];
+        let labels = [0.0, 1.0, 1.0, 1.0];
+        let groups = [0, 0, 1, 1];
+        assert_eq!(grouped_auc(&scores, &labels, &groups), Some(1.0));
+    }
+
+    #[test]
+    fn no_valid_group_is_none() {
+        let scores = [0.1, 0.9];
+        let labels = [1.0, 1.0];
+        let groups = [0, 1];
+        assert_eq!(grouped_auc(&scores, &labels, &groups), None);
+    }
+
+    #[test]
+    fn per_group_sorted_by_key() {
+        let scores = [0.1, 0.9, 0.4, 0.7];
+        let labels = [0.0, 1.0, 1.0, 0.0];
+        let groups = [7, 7, 2, 2];
+        let per = per_group_auc(&scores, &labels, &groups);
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[0].key, 2);
+        assert_eq!(per[1].key, 7);
+        assert_eq!(per[0].impressions, 2);
+    }
+
+    #[test]
+    fn grouped_auc_can_exceed_global_auc() {
+        // Simpson-style: each group ranks perfectly, but group base rates make
+        // the pooled ranking imperfect — the reason the paper reports TAUC.
+        let scores = [0.2, 0.3, 0.8, 0.9];
+        let labels = [0.0, 1.0, 0.0, 1.0];
+        let groups = [0, 0, 1, 1];
+        let pooled = auc(&scores, &labels).unwrap();
+        let grouped = grouped_auc(&scores, &labels, &groups).unwrap();
+        assert_eq!(grouped, 1.0);
+        assert!(pooled < 1.0);
+    }
+}

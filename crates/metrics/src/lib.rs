@@ -1,0 +1,36 @@
+//! # basm-metrics
+//!
+//! Ranking metrics for the BASM reproduction, including the paper's two
+//! proposed metrics:
+//!
+//! * **TAUC** (Time-period-wise AUC, Eq. 20) — impression-weighted average of
+//!   per-time-period AUCs.
+//! * **CAUC** (City-wise AUC, Eq. 21) — the same over cities.
+//!
+//! Plus the standard ones Table IV reports: AUC (tie-aware Mann-Whitney),
+//! session-grouped NDCG@3/@10, and log loss.
+//!
+//! ```
+//! use basm_metrics::{auc, grouped_auc, EvalAccumulator};
+//!
+//! let scores = [0.9, 0.2, 0.7, 0.4];
+//! let labels = [1.0, 0.0, 1.0, 0.0];
+//! assert_eq!(auc(&scores, &labels), Some(1.0));
+//! let tp = [0u32, 0, 1, 1];
+//! assert_eq!(grouped_auc(&scores, &labels, &tp), Some(1.0));
+//! let _ = EvalAccumulator::new();
+//! ```
+
+pub mod auc;
+pub mod bootstrap;
+pub mod grouped;
+pub mod logloss;
+pub mod ndcg;
+pub mod report;
+
+pub use auc::auc;
+pub use bootstrap::{bootstrap_auc, bootstrap_metric, BootstrapEstimate};
+pub use grouped::{gauc, grouped_auc, per_group_auc, GroupAuc};
+pub use logloss::{calibration, logloss};
+pub use ndcg::ndcg_at_k;
+pub use report::{EvalAccumulator, MetricReport};

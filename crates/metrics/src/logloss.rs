@@ -1,0 +1,68 @@
+//! Binary log loss and CTR calibration.
+
+/// Mean binary cross-entropy of predicted probabilities against labels.
+/// Probabilities are clamped to `[1e-7, 1-1e-7]`.
+pub fn logloss(probs: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(probs.len(), labels.len(), "logloss: length mismatch");
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for (&p, &y) in probs.iter().zip(labels.iter()) {
+        let p = (p as f64).clamp(1e-7, 1.0 - 1e-7);
+        total -= if y > 0.5 { p.ln() } else { (1.0 - p).ln() };
+    }
+    total / probs.len() as f64
+}
+
+/// Calibration ratio: mean predicted CTR over empirical CTR (1.0 = perfectly
+/// calibrated on average).
+pub fn calibration(probs: &[f32], labels: &[f32]) -> Option<f64> {
+    assert_eq!(probs.len(), labels.len());
+    let actual: f64 = labels.iter().map(|&l| l as f64).sum();
+    if actual == 0.0 {
+        return None;
+    }
+    let predicted: f64 = probs.iter().map(|&p| p as f64).sum();
+    Some(predicted / actual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confident_correct_is_small() {
+        let ll = logloss(&[0.999, 0.001], &[1.0, 0.0]);
+        assert!(ll < 0.01, "{ll}");
+    }
+
+    #[test]
+    fn uniform_prediction_is_ln2() {
+        let ll = logloss(&[0.5, 0.5, 0.5, 0.5], &[1.0, 0.0, 1.0, 0.0]);
+        assert!((ll - std::f64::consts::LN_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamping_prevents_infinity() {
+        let ll = logloss(&[0.0, 1.0], &[1.0, 0.0]);
+        assert!(ll.is_finite());
+        assert!(ll > 10.0);
+    }
+
+    #[test]
+    fn better_predictions_lower_loss() {
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        let good = logloss(&[0.8, 0.2, 0.9, 0.1], &labels);
+        let bad = logloss(&[0.5, 0.5, 0.5, 0.5], &labels);
+        assert!(good < bad);
+    }
+
+    #[test]
+    fn calibration_ratio() {
+        // Predicted sum 1.0, actual 2 clicks -> 0.5.
+        let c = calibration(&[0.25, 0.25, 0.25, 0.25], &[1.0, 1.0, 0.0, 0.0]).unwrap();
+        assert!((c - 0.5).abs() < 1e-9);
+        assert_eq!(calibration(&[0.5], &[0.0]), None);
+    }
+}

@@ -1,0 +1,112 @@
+//! Session-grouped NDCG@k (the paper reports NDCG3 and NDCG10).
+
+use std::collections::HashMap;
+
+/// Mean NDCG@k over sessions, using binary relevance from `labels`.
+///
+/// Each session is one exposure list (the paper's request); sessions without
+/// a positive are skipped (their NDCG is undefined). Returns `None` if no
+/// session has a positive.
+pub fn ndcg_at_k(scores: &[f32], labels: &[f32], sessions: &[u32], k: usize) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len());
+    assert_eq!(scores.len(), sessions.len());
+    assert!(k > 0, "ndcg_at_k: k must be positive");
+
+    let mut by_session: HashMap<u32, Vec<(f32, f32)>> = HashMap::new();
+    for i in 0..scores.len() {
+        by_session.entry(sessions[i]).or_default().push((scores[i], labels[i]));
+    }
+
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for (_, mut items) in by_session {
+        let n_pos = items.iter().filter(|(_, l)| *l > 0.5).count();
+        if n_pos == 0 {
+            continue;
+        }
+        // DCG of the model ranking.
+        items.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let dcg: f64 = items
+            .iter()
+            .take(k)
+            .enumerate()
+            .filter(|(_, (_, l))| *l > 0.5)
+            .map(|(rank, _)| 1.0 / ((rank as f64 + 2.0).log2()))
+            .sum();
+        // Ideal DCG: all positives first.
+        let idcg: f64 = (0..n_pos.min(k))
+            .map(|rank| 1.0 / ((rank as f64 + 2.0).log2()))
+            .sum();
+        total += dcg / idcg;
+        count += 1;
+    }
+    (count > 0).then(|| total / count as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_is_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        let sessions = [0u32; 4];
+        assert!((ndcg_at_k(&scores, &labels, &sessions, 3).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_outside_top_k_scores_zero() {
+        let scores = [0.9, 0.8, 0.7, 0.1];
+        let labels = [0.0, 0.0, 0.0, 1.0];
+        let sessions = [0u32; 4];
+        assert_eq!(ndcg_at_k(&scores, &labels, &sessions, 3).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn known_value_single_session() {
+        // Positive at rank 2 (0-based rank 1): DCG = 1/log2(3), IDCG = 1.
+        let scores = [0.9, 0.8];
+        let labels = [0.0, 1.0];
+        let sessions = [0u32; 2];
+        let want = 1.0 / 3f64.log2();
+        assert!((ndcg_at_k(&scores, &labels, &sessions, 10).unwrap() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averages_over_sessions() {
+        // Session 0 perfect (1.0), session 1 positive at rank 2 (1/log2(3)).
+        let scores = [0.9, 0.1, 0.9, 0.8];
+        let labels = [1.0, 0.0, 0.0, 1.0];
+        let sessions = [0, 0, 1, 1];
+        let want = (1.0 + 1.0 / 3f64.log2()) / 2.0;
+        assert!((ndcg_at_k(&scores, &labels, &sessions, 10).unwrap() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sessions_without_positives_skipped() {
+        let scores = [0.9, 0.1, 0.5, 0.4];
+        let labels = [1.0, 0.0, 0.0, 0.0];
+        let sessions = [0, 0, 1, 1];
+        assert_eq!(ndcg_at_k(&scores, &labels, &sessions, 3), Some(1.0));
+    }
+
+    #[test]
+    fn no_positive_anywhere_is_none() {
+        let scores = [0.9, 0.1];
+        let labels = [0.0, 0.0];
+        let sessions = [0, 1];
+        assert_eq!(ndcg_at_k(&scores, &labels, &sessions, 3), None);
+    }
+
+    #[test]
+    fn ndcg10_at_least_ndcg3() {
+        // More depth can only help recall the positive.
+        let scores = [0.9, 0.8, 0.7, 0.6, 0.1];
+        let labels = [0.0, 0.0, 0.0, 1.0, 0.0];
+        let sessions = [0u32; 5];
+        let n3 = ndcg_at_k(&scores, &labels, &sessions, 3).unwrap();
+        let n10 = ndcg_at_k(&scores, &labels, &sessions, 10).unwrap();
+        assert!(n10 >= n3);
+    }
+}

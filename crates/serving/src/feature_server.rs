@@ -1,0 +1,128 @@
+//! ABFS-like feature server: the online store of user behavior sequences and
+//! statistics counters (Fig. 13: "TPP obtains user-side features ... by
+//! calling Alibaba Basic Feature Server").
+//!
+//! Wrapped in a [`parking_lot::RwLock`] because a production feature server
+//! is hit concurrently by scoring and by the click-event ingestion path.
+
+use basm_data::{BehaviorEvent, StatCounters};
+use parking_lot::RwLock;
+use std::collections::VecDeque;
+
+struct State {
+    history: Vec<VecDeque<BehaviorEvent>>,
+    counters: StatCounters,
+}
+
+/// Online user/item feature state.
+pub struct FeatureServer {
+    state: RwLock<State>,
+    max_history: usize,
+}
+
+impl FeatureServer {
+    /// Fresh server for `n_users`/`n_items`, retaining up to `max_history`
+    /// behavior events per user.
+    pub fn new(n_users: usize, n_items: usize, max_history: usize) -> Self {
+        Self {
+            state: RwLock::new(State {
+                history: vec![VecDeque::new(); n_users],
+                counters: StatCounters::new(n_users, n_items),
+            }),
+            max_history,
+        }
+    }
+
+    /// Seed a user's history (e.g. from the offline log's warm state).
+    pub fn seed_history(&self, uid: usize, events: impl IntoIterator<Item = BehaviorEvent>) {
+        let mut s = self.state.write();
+        let h = &mut s.history[uid];
+        for ev in events {
+            h.push_back(ev);
+            while h.len() > self.max_history {
+                h.pop_front();
+            }
+        }
+    }
+
+    /// Snapshot a user's behavior sequence (most recent last, as stored).
+    pub fn history_snapshot(&self, uid: usize) -> VecDeque<BehaviorEvent> {
+        self.state.read().history[uid].clone()
+    }
+
+    /// Run `f` with read access to the counters.
+    pub fn with_counters<R>(&self, f: impl FnOnce(&StatCounters) -> R) -> R {
+        f(&self.state.read().counters)
+    }
+
+    /// Ingest an exposure event.
+    pub fn record_exposure(&self, iid: u32) {
+        self.state.write().counters.item_exposures[iid as usize] += 1;
+    }
+
+    /// Ingest a click event: updates counters and the behavior sequence.
+    pub fn record_click(&self, uid: usize, event: BehaviorEvent, ordered: bool) {
+        let mut s = self.state.write();
+        s.counters.user_clicks[uid] += 1;
+        s.counters.item_clicks[event.item as usize] += 1;
+        if ordered {
+            s.counters.user_orders[uid] += 1;
+        }
+        let max = self.max_history;
+        let h = &mut s.history[uid];
+        h.push_back(event);
+        while h.len() > max {
+            h.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(item: u32) -> BehaviorEvent {
+        BehaviorEvent { item, cat: 1, brand: 1, tp: 1, hour: 12, city: 0, gx: 0, gy: 0 }
+    }
+
+    #[test]
+    fn click_updates_history_and_counters() {
+        let fs = FeatureServer::new(2, 10, 4);
+        fs.record_click(1, ev(3), true);
+        fs.record_click(1, ev(4), false);
+        let h = fs.history_snapshot(1);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.back().unwrap().item, 4);
+        fs.with_counters(|c| {
+            assert_eq!(c.user_clicks[1], 2);
+            assert_eq!(c.user_orders[1], 1);
+            assert_eq!(c.item_clicks[3], 1);
+        });
+    }
+
+    #[test]
+    fn history_is_capped() {
+        let fs = FeatureServer::new(1, 10, 3);
+        for i in 0..6 {
+            fs.record_click(0, ev(i), false);
+        }
+        let h = fs.history_snapshot(0);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.front().unwrap().item, 3);
+    }
+
+    #[test]
+    fn seeding_respects_cap() {
+        let fs = FeatureServer::new(1, 10, 2);
+        fs.seed_history(0, (0..5).map(ev));
+        assert_eq!(fs.history_snapshot(0).len(), 2);
+    }
+
+    #[test]
+    fn exposure_counter() {
+        let fs = FeatureServer::new(1, 10, 2);
+        fs.record_exposure(7);
+        fs.record_exposure(7);
+        fs.with_counters(|c| assert_eq!(c.item_exposures[7], 2));
+    }
+}

@@ -1,0 +1,25 @@
+//! # basm-serving
+//!
+//! The online serving and A/B-testing side of the paper (Section IV,
+//! Table VII, Fig. 12), simulated end to end:
+//!
+//! * [`FeatureServer`] — the ABFS role: behavior sequences + statistics.
+//! * [`LbsRecall`] — geohash-ring candidate recall.
+//! * [`scorer`] — RTP-style feature assembly + model inference.
+//! * [`ServingPipeline`] — TPP orchestration: recall → score → top-k.
+//! * [`ab_test`] — the closed-loop 7-day A/B experiment against the
+//!   ground-truth click model, with per-day and per-segment CTRs.
+
+pub mod ab_test;
+pub mod feature_server;
+pub mod pipeline;
+pub mod recall;
+pub mod replay;
+pub mod scorer;
+
+pub use ab_test::{run_ab_test, AbConfig, AbResult, DayResult, SegmentBreakdown, Tally};
+pub use feature_server::FeatureServer;
+pub use pipeline::{Exposure, Request, ServingPipeline};
+pub use recall::LbsRecall;
+pub use replay::{position_ctr_profile, replay_top1, ReplayReport};
+pub use scorer::score_candidates;

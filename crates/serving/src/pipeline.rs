@@ -1,0 +1,146 @@
+//! TPP-like orchestration (Fig. 13): request → feature server → LBS recall →
+//! RTP scoring → top-k exposure.
+
+use basm_core::model::CtrModel;
+use basm_data::{Context, TimePeriod, World};
+use basm_tensor::Prng;
+
+use crate::feature_server::FeatureServer;
+use crate::recall::LbsRecall;
+use crate::scorer::score_candidates;
+
+/// One exposed item with its rank and model score.
+#[derive(Debug, Clone, Copy)]
+pub struct Exposure {
+    /// Item index.
+    pub item: u32,
+    /// 0-based exposure position.
+    pub position: u8,
+    /// Model probability at scoring time.
+    pub score: f32,
+}
+
+/// An incoming recommendation request.
+#[derive(Debug, Clone, Copy)]
+pub struct Request {
+    /// Requesting user.
+    pub uid: usize,
+    /// Simulated day (for logging only).
+    pub day: u16,
+    /// Hour of day.
+    pub hour: u8,
+    /// Request geohash cell.
+    pub geo: (u8, u8),
+}
+
+/// One serving arm: a model plus its online state.
+pub struct ServingPipeline {
+    /// The ranking model.
+    pub model: Box<dyn CtrModel>,
+    /// The arm's online feature state.
+    pub features: FeatureServer,
+    recall: LbsRecall,
+    top_k: usize,
+    pool: usize,
+}
+
+impl ServingPipeline {
+    /// Build an arm for a world. `pool` is the recall depth, `top_k` the
+    /// exposure list length.
+    pub fn new(world: &World, model: Box<dyn CtrModel>, pool: usize, top_k: usize) -> Self {
+        Self {
+            model,
+            features: FeatureServer::new(
+                world.config.n_users,
+                world.config.n_items,
+                4 * world.config.seq_len,
+            ),
+            recall: LbsRecall::build(world),
+            top_k,
+            pool,
+        }
+    }
+
+    /// Serve a request: recall → score → rank → expose.
+    pub fn serve(&mut self, world: &World, req: Request, rng: &mut Prng) -> Vec<Exposure> {
+        let user = &world.users[req.uid];
+        let candidates = self.recall.candidates(user.city, req.geo, self.pool, rng);
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let ctx = Context {
+            day: req.day,
+            hour: req.hour,
+            tp: TimePeriod::from_hour(req.hour),
+            city: user.city,
+            geo: req.geo,
+            position: 0,
+        };
+        let history = self.features.history_snapshot(req.uid);
+        let scores = self.features.with_counters(|counters| {
+            score_candidates(
+                self.model.as_mut(),
+                world,
+                req.uid,
+                &candidates,
+                ctx,
+                &history,
+                counters,
+            )
+        });
+        let mut ranked: Vec<(f32, u32)> =
+            scores.iter().copied().zip(candidates.iter().copied()).collect();
+        ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
+        ranked
+            .into_iter()
+            .take(self.top_k)
+            .enumerate()
+            .map(|(rank, (score, item))| {
+                self.features.record_exposure(item);
+                Exposure { item, position: rank as u8, score }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basm_baselines::build_model;
+    use basm_data::WorldConfig;
+
+    #[test]
+    fn serves_top_k_in_score_order() {
+        let cfg = WorldConfig::tiny();
+        let world = World::generate(cfg.clone());
+        let model = build_model("Wide&Deep", &cfg, 1);
+        let mut pipe = ServingPipeline::new(&world, model, 15, 5);
+        let mut rng = Prng::seeded(1);
+        let req = Request { uid: 0, day: 0, hour: 12, geo: world.users[0].geo };
+        let exposures = pipe.serve(&world, req, &mut rng);
+        assert!(exposures.len() <= 5);
+        assert!(!exposures.is_empty());
+        for w in exposures.windows(2) {
+            assert!(w[0].score >= w[1].score, "ranking must be score-descending");
+        }
+        for (i, e) in exposures.iter().enumerate() {
+            assert_eq!(e.position as usize, i);
+        }
+    }
+
+    #[test]
+    fn exposures_update_counters() {
+        let cfg = WorldConfig::tiny();
+        let world = World::generate(cfg.clone());
+        let model = build_model("Wide&Deep", &cfg, 1);
+        let mut pipe = ServingPipeline::new(&world, model, 10, 3);
+        let mut rng = Prng::seeded(2);
+        let req = Request { uid: 1, day: 0, hour: 19, geo: world.users[1].geo };
+        let exposures = pipe.serve(&world, req, &mut rng);
+        pipe.features.with_counters(|c| {
+            for e in &exposures {
+                assert!(c.item_exposures[e.item as usize] > 0);
+            }
+        });
+    }
+}

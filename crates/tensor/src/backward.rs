@@ -1,0 +1,595 @@
+//! The reverse sweep: gradient rules for every op on the tape.
+//!
+//! Node ids are topologically ordered, so a single reverse pass over ids
+//! visits every consumer before its producers. Each rule is exercised by a
+//! finite-difference check in `tests/gradcheck.rs`.
+
+use crate::graph::{stable_sigmoid, Graph, Op, Saved, Var};
+use crate::linalg;
+use crate::tensor::Tensor;
+
+impl Graph {
+    /// Run backpropagation from a scalar `loss` node, accumulating gradients
+    /// into every upstream node with `requires_grad`.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward: loss must be a scalar, got {:?}",
+            self.value(loss).shape()
+        );
+        assert!(
+            self.nodes[loss.0].requires_grad,
+            "backward: loss does not depend on any gradient-requiring leaf"
+        );
+        self.accum_grad(loss.0, Tensor::scalar(1.0));
+
+        for i in (0..=loss.0).rev() {
+            let Some(gout) = self.nodes[i].grad.take() else { continue };
+            if !self.nodes[i].requires_grad {
+                self.nodes[i].grad = Some(gout);
+                continue;
+            }
+            let op = self.nodes[i].op.clone();
+            let contributions = self.local_grads(i, &op, &gout);
+            for (j, g) in contributions {
+                self.accum_grad(j, g);
+            }
+            self.nodes[i].grad = Some(gout);
+        }
+    }
+
+    fn accum_grad(&mut self, id: usize, g: Tensor) {
+        debug_assert_eq!(self.nodes[id].value.shape(), g.shape(), "grad shape mismatch");
+        match &mut self.nodes[id].grad {
+            Some(existing) => existing.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    fn val(&self, id: usize) -> &Tensor {
+        &self.nodes[id].value
+    }
+
+    fn needs(&self, id: usize) -> bool {
+        self.nodes[id].requires_grad
+    }
+
+    /// Gradient contributions of node `i` (output grad `gout`, forward value
+    /// `self.val(i)`) to each of its inputs.
+    fn local_grads(&self, i: usize, op: &Op, gout: &Tensor) -> Vec<(usize, Tensor)> {
+        let y = self.val(i);
+        let mut out: Vec<(usize, Tensor)> = Vec::with_capacity(2);
+        match *op {
+            Op::Leaf => {}
+            Op::Matmul { a, b } => {
+                if self.needs(a) {
+                    out.push((a, linalg::matmul_a_bt(gout, self.val(b))));
+                }
+                if self.needs(b) {
+                    out.push((b, linalg::matmul_at_b(self.val(a), gout)));
+                }
+            }
+            Op::Add { a, b } => {
+                if self.needs(a) {
+                    out.push((a, gout.clone()));
+                }
+                if self.needs(b) {
+                    out.push((b, gout.clone()));
+                }
+            }
+            Op::Sub { a, b } => {
+                if self.needs(a) {
+                    out.push((a, gout.clone()));
+                }
+                if self.needs(b) {
+                    out.push((b, gout.map(|g| -g)));
+                }
+            }
+            Op::Mul { a, b } => {
+                if self.needs(a) {
+                    out.push((a, gout.zip_map(self.val(b), |g, bv| g * bv)));
+                }
+                if self.needs(b) {
+                    out.push((b, gout.zip_map(self.val(a), |g, av| g * av)));
+                }
+            }
+            Op::Div { a, b } => {
+                let bv = self.val(b);
+                if self.needs(a) {
+                    out.push((a, gout.zip_map(bv, |g, d| g / d)));
+                }
+                if self.needs(b) {
+                    // d(a/b)/db = -a/b^2 = -y/b
+                    let gy = gout.zip_map(y, |g, yv| g * yv);
+                    out.push((b, gy.zip_map(bv, |gy, d| -gy / d)));
+                }
+            }
+            Op::AddRow { a, b } => {
+                if self.needs(a) {
+                    out.push((a, gout.clone()));
+                }
+                if self.needs(b) {
+                    out.push((b, col_sums(gout)));
+                }
+            }
+            Op::MulRow { a, b } => {
+                let (m, n) = gout.shape();
+                if self.needs(a) {
+                    let bv = self.val(b);
+                    let mut g = Tensor::zeros(m, n);
+                    for r in 0..m {
+                        let grow = gout.row(r);
+                        let orow = g.row_mut(r);
+                        let brow = bv.row(0);
+                        for j in 0..n {
+                            orow[j] = grow[j] * brow[j];
+                        }
+                    }
+                    out.push((a, g));
+                }
+                if self.needs(b) {
+                    let av = self.val(a);
+                    let mut g = Tensor::zeros(1, n);
+                    for r in 0..m {
+                        let grow = gout.row(r);
+                        let arow = av.row(r);
+                        let orow = g.row_mut(0);
+                        for j in 0..n {
+                            orow[j] += grow[j] * arow[j];
+                        }
+                    }
+                    out.push((b, g));
+                }
+            }
+            Op::AddCol { a, b } => {
+                if self.needs(a) {
+                    out.push((a, gout.clone()));
+                }
+                if self.needs(b) {
+                    let g = Tensor::from_fn(gout.rows(), 1, |r, _| gout.row(r).iter().sum());
+                    out.push((b, g));
+                }
+            }
+            Op::MulCol { a, b } => {
+                let (m, n) = gout.shape();
+                if self.needs(a) {
+                    let bv = self.val(b);
+                    let mut g = Tensor::zeros(m, n);
+                    for r in 0..m {
+                        let scale = bv.get(r, 0);
+                        let grow = gout.row(r);
+                        let orow = g.row_mut(r);
+                        for j in 0..n {
+                            orow[j] = grow[j] * scale;
+                        }
+                    }
+                    out.push((a, g));
+                }
+                if self.needs(b) {
+                    let av = self.val(a);
+                    let g = Tensor::from_fn(m, 1, |r, _| linalg::dot(gout.row(r), av.row(r)));
+                    out.push((b, g));
+                }
+            }
+            Op::Scale { a, c } => {
+                if self.needs(a) {
+                    out.push((a, gout.map(|g| g * c)));
+                }
+            }
+            Op::AddScalar { a, .. } => {
+                if self.needs(a) {
+                    out.push((a, gout.clone()));
+                }
+            }
+            Op::Sigmoid { a } => {
+                if self.needs(a) {
+                    out.push((a, gout.zip_map(y, |g, yv| g * yv * (1.0 - yv))));
+                }
+            }
+            Op::Tanh { a } => {
+                if self.needs(a) {
+                    out.push((a, gout.zip_map(y, |g, yv| g * (1.0 - yv * yv))));
+                }
+            }
+            Op::Relu { a } => {
+                if self.needs(a) {
+                    out.push((a, gout.zip_map(y, |g, yv| if yv > 0.0 { g } else { 0.0 })));
+                }
+            }
+            Op::LeakyRelu { a, slope } => {
+                if self.needs(a) {
+                    out.push((
+                        a,
+                        gout.zip_map(y, |g, yv| if yv > 0.0 { g } else { g * slope }),
+                    ));
+                }
+            }
+            Op::Exp { a } => {
+                if self.needs(a) {
+                    out.push((a, gout.zip_map(y, |g, yv| g * yv)));
+                }
+            }
+            Op::Ln { a } => {
+                if self.needs(a) {
+                    out.push((a, gout.zip_map(self.val(a), |g, xv| g / xv)));
+                }
+            }
+            Op::Sqrt { a } => {
+                if self.needs(a) {
+                    out.push((a, gout.zip_map(y, |g, yv| g / (2.0 * yv))));
+                }
+            }
+            Op::Square { a } => {
+                if self.needs(a) {
+                    out.push((a, gout.zip_map(self.val(a), |g, xv| 2.0 * g * xv)));
+                }
+            }
+            Op::SoftmaxRows { a } | Op::MaskedSoftmaxRows { a, .. } => {
+                // dx_j = y_j * (g_j - Σ_k g_k y_k); masked positions have y=0.
+                if self.needs(a) {
+                    let (m, n) = y.shape();
+                    let mut g = Tensor::zeros(m, n);
+                    for r in 0..m {
+                        let yrow = y.row(r);
+                        let grow = gout.row(r);
+                        let inner = linalg::dot(grow, yrow);
+                        let orow = g.row_mut(r);
+                        for j in 0..n {
+                            orow[j] = yrow[j] * (grow[j] - inner);
+                        }
+                    }
+                    out.push((a, g));
+                }
+            }
+            Op::ConcatCols { ref parts } => {
+                let mut offset = 0;
+                for &p in parts {
+                    let w = self.val(p).cols();
+                    if self.needs(p) {
+                        let m = gout.rows();
+                        let mut g = Tensor::zeros(m, w);
+                        for r in 0..m {
+                            g.row_mut(r).copy_from_slice(&gout.row(r)[offset..offset + w]);
+                        }
+                        out.push((p, g));
+                    }
+                    offset += w;
+                }
+            }
+            Op::SliceCols { a, start, len } => {
+                if self.needs(a) {
+                    let (m, n) = self.val(a).shape();
+                    let mut g = Tensor::zeros(m, n);
+                    for r in 0..m {
+                        g.row_mut(r)[start..start + len].copy_from_slice(gout.row(r));
+                    }
+                    out.push((a, g));
+                }
+            }
+            Op::SumAll { a } => {
+                if self.needs(a) {
+                    let (m, n) = self.val(a).shape();
+                    out.push((a, Tensor::full(m, n, gout.item())));
+                }
+            }
+            Op::MeanAll { a } => {
+                if self.needs(a) {
+                    let (m, n) = self.val(a).shape();
+                    let scale = gout.item() / (m * n) as f32;
+                    out.push((a, Tensor::full(m, n, scale)));
+                }
+            }
+            Op::SumRows { a } => {
+                if self.needs(a) {
+                    let (m, n) = self.val(a).shape();
+                    out.push((a, Tensor::from_fn(m, n, |r, _| gout.get(r, 0))));
+                }
+            }
+            Op::MeanRows { a } => {
+                if self.needs(a) {
+                    let (m, n) = self.val(a).shape();
+                    let inv = 1.0 / n as f32;
+                    out.push((a, Tensor::from_fn(m, n, |r, _| gout.get(r, 0) * inv)));
+                }
+            }
+            Op::SumCols { a } => {
+                if self.needs(a) {
+                    let (m, n) = self.val(a).shape();
+                    out.push((a, Tensor::from_fn(m, n, |_, c| gout.get(0, c))));
+                }
+            }
+            Op::RowDot { a, b } => {
+                if self.needs(a) {
+                    let bv = self.val(b);
+                    let g = Tensor::from_fn(bv.rows(), bv.cols(), |r, c| {
+                        gout.get(r, 0) * bv.get(r, c)
+                    });
+                    out.push((a, g));
+                }
+                if self.needs(b) {
+                    let av = self.val(a);
+                    let g = Tensor::from_fn(av.rows(), av.cols(), |r, c| {
+                        gout.get(r, 0) * av.get(r, c)
+                    });
+                    out.push((b, g));
+                }
+            }
+            Op::Transpose { a } => {
+                if self.needs(a) {
+                    out.push((a, gout.transposed()));
+                }
+            }
+            Op::Reshape { a } => {
+                if self.needs(a) {
+                    let (m, n) = self.val(a).shape();
+                    out.push((a, gout.reshaped(m, n)));
+                }
+            }
+            Op::RepeatRows { a, times } => {
+                if self.needs(a) {
+                    let (m, n) = self.val(a).shape();
+                    let mut g = Tensor::zeros(m, n);
+                    for r in 0..m {
+                        let orow = g.row_mut(r);
+                        for k in 0..times {
+                            let grow = gout.row(r * times + k);
+                            for j in 0..n {
+                                orow[j] += grow[j];
+                            }
+                        }
+                    }
+                    out.push((a, g));
+                }
+            }
+            Op::SeqWeightedSum { seq, w, t, d } => {
+                let m = gout.rows();
+                if self.needs(seq) {
+                    let wv = self.val(w);
+                    let mut g = Tensor::zeros(m, t * d);
+                    for r in 0..m {
+                        let grow = gout.row(r);
+                        let wrow = wv.row(r);
+                        let orow = g.row_mut(r);
+                        for (ti, &wt) in wrow.iter().enumerate() {
+                            if wt == 0.0 {
+                                continue;
+                            }
+                            let block = &mut orow[ti * d..(ti + 1) * d];
+                            for (o, &gv) in block.iter_mut().zip(grow.iter()) {
+                                *o += wt * gv;
+                            }
+                        }
+                    }
+                    out.push((seq, g));
+                }
+                if self.needs(w) {
+                    let sv = self.val(seq);
+                    let mut g = Tensor::zeros(m, t);
+                    for r in 0..m {
+                        let grow = gout.row(r);
+                        let srow = sv.row(r);
+                        let orow = g.row_mut(r);
+                        for (ti, o) in orow.iter_mut().enumerate() {
+                            *o = linalg::dot(&srow[ti * d..(ti + 1) * d], grow);
+                        }
+                    }
+                    out.push((w, g));
+                }
+            }
+            Op::MetaLinear { w, x, out_dim, in_dim } => {
+                let m = gout.rows();
+                if self.needs(w) {
+                    let xv = self.val(x);
+                    let mut g = Tensor::zeros(m, out_dim * in_dim);
+                    for r in 0..m {
+                        let grow = gout.row(r);
+                        let xrow = xv.row(r);
+                        let orow = g.row_mut(r);
+                        for (o, &gv) in grow.iter().enumerate() {
+                            if gv == 0.0 {
+                                continue;
+                            }
+                            let block = &mut orow[o * in_dim..(o + 1) * in_dim];
+                            for (bj, &xj) in block.iter_mut().zip(xrow.iter()) {
+                                *bj += gv * xj;
+                            }
+                        }
+                    }
+                    out.push((w, g));
+                }
+                if self.needs(x) {
+                    let wv = self.val(w);
+                    let mut g = Tensor::zeros(m, in_dim);
+                    for r in 0..m {
+                        let grow = gout.row(r);
+                        let wrow = wv.row(r);
+                        let orow = g.row_mut(r);
+                        for (o, &gv) in grow.iter().enumerate() {
+                            if gv == 0.0 {
+                                continue;
+                            }
+                            let wblock = &wrow[o * in_dim..(o + 1) * in_dim];
+                            for (oj, &wj) in orow.iter_mut().zip(wblock.iter()) {
+                                *oj += gv * wj;
+                            }
+                        }
+                    }
+                    out.push((x, g));
+                }
+            }
+            Op::MetaLinearInMajor { w, x, out_dim, in_dim } => {
+                let m = gout.rows();
+                if self.needs(w) {
+                    let xv = self.val(x);
+                    let mut g = Tensor::zeros(m, out_dim * in_dim);
+                    for r in 0..m {
+                        let grow = gout.row(r);
+                        let xrow = xv.row(r);
+                        let orow = g.row_mut(r);
+                        for (i, &xi) in xrow.iter().enumerate() {
+                            if xi == 0.0 {
+                                continue;
+                            }
+                            let block = &mut orow[i * out_dim..(i + 1) * out_dim];
+                            for (bo, &gv) in block.iter_mut().zip(grow.iter()) {
+                                *bo += xi * gv;
+                            }
+                        }
+                    }
+                    out.push((w, g));
+                }
+                if self.needs(x) {
+                    let wv = self.val(w);
+                    let mut g = Tensor::zeros(m, in_dim);
+                    for r in 0..m {
+                        let grow = gout.row(r);
+                        let wrow = wv.row(r);
+                        let orow = g.row_mut(r);
+                        for (i, oi) in orow.iter_mut().enumerate() {
+                            *oi = linalg::dot(&wrow[i * out_dim..(i + 1) * out_dim], grow);
+                        }
+                    }
+                    out.push((x, g));
+                }
+            }
+            Op::BatchNormTrain { x, eps } => {
+                if self.needs(x) {
+                    let Some(Saved::BnStats { var, .. }) = &self.nodes[i].saved else {
+                        unreachable!("BatchNormTrain node missing saved stats");
+                    };
+                    let (m, n) = y.shape();
+                    let mf = m as f32;
+                    // Per column: dx = s * (g - mean(g) - y * mean(g ⊙ y))
+                    let mut mean_g = vec![0.0f32; n];
+                    let mut mean_gy = vec![0.0f32; n];
+                    for r in 0..m {
+                        let grow = gout.row(r);
+                        let yrow = y.row(r);
+                        for j in 0..n {
+                            mean_g[j] += grow[j];
+                            mean_gy[j] += grow[j] * yrow[j];
+                        }
+                    }
+                    for j in 0..n {
+                        mean_g[j] /= mf;
+                        mean_gy[j] /= mf;
+                    }
+                    let mut g = Tensor::zeros(m, n);
+                    for r in 0..m {
+                        let grow = gout.row(r);
+                        let yrow = y.row(r);
+                        let orow = g.row_mut(r);
+                        for j in 0..n {
+                            let s = 1.0 / (var[j] + eps).sqrt();
+                            orow[j] = s * (grow[j] - mean_g[j] - yrow[j] * mean_gy[j]);
+                        }
+                    }
+                    out.push((x, g));
+                }
+            }
+            Op::NormalizeEval { x, var, eps, .. } => {
+                if self.needs(x) {
+                    let vv = self.val(var);
+                    let (m, n) = gout.shape();
+                    let mut g = Tensor::zeros(m, n);
+                    for r in 0..m {
+                        let grow = gout.row(r);
+                        let orow = g.row_mut(r);
+                        for j in 0..n {
+                            orow[j] = grow[j] / (vv.get(0, j) + eps).sqrt();
+                        }
+                    }
+                    out.push((x, g));
+                }
+            }
+            Op::BceWithLogits { logits, labels } => {
+                if self.needs(logits) {
+                    let zv = self.val(logits);
+                    let yv = self.val(labels);
+                    let inv = gout.item() / zv.len().max(1) as f32;
+                    let g = zv.zip_map(yv, |z, lab| inv * (stable_sigmoid(z) - lab));
+                    out.push((logits, g));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn col_sums(t: &Tensor) -> Tensor {
+    let (m, n) = t.shape();
+    let mut out = Tensor::zeros(1, n);
+    for r in 0..m {
+        for (o, &x) in out.row_mut(0).iter_mut().zip(t.row(r).iter()) {
+            *o += x;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backward_through_chain() {
+        // loss = mean((a*b + a)^2); check via hand computation on scalars.
+        let mut g = Graph::new();
+        let a = g.input_with_grad(Tensor::scalar(2.0));
+        let b = g.input_with_grad(Tensor::scalar(3.0));
+        let ab = g.mul(a, b);
+        let s = g.add(ab, a); // 8
+        let sq = g.square(s); // 64
+        let loss = g.mean_all(sq);
+        g.backward(loss);
+        // d/da = 2*s*(b+1) = 2*8*4 = 64 ; d/db = 2*s*a = 32
+        assert!((g.grad(a).unwrap().item() - 64.0).abs() < 1e-4);
+        assert!((g.grad(b).unwrap().item() - 32.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn grads_accumulate_across_consumers() {
+        let mut g = Graph::new();
+        let a = g.input_with_grad(Tensor::scalar(3.0));
+        let x = g.add(a, a); // 2a
+        let y = g.mul(a, x); // 2a^2
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        // d(2a^2)/da = 4a = 12
+        assert!((g.grad(a).unwrap().item() - 12.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn no_grad_leaf_untouched() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::scalar(1.0));
+        let b = g.input_with_grad(Tensor::scalar(2.0));
+        let c = g.mul(a, b);
+        let loss = g.sum_all(c);
+        g.backward(loss);
+        assert!(g.grad(a).is_none());
+        assert!(g.grad(b).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be a scalar")]
+    fn non_scalar_loss_panics() {
+        let mut g = Graph::new();
+        let a = g.input_with_grad(Tensor::zeros(2, 2));
+        let b = g.relu(a);
+        g.backward(b);
+    }
+
+    #[test]
+    fn bce_gradient_sign() {
+        let mut g = Graph::new();
+        let z = g.input_with_grad(Tensor::from_vec(2, 1, vec![0.0, 0.0]));
+        let y = g.input(Tensor::from_vec(2, 1, vec![1.0, 0.0]));
+        let loss = g.bce_with_logits(z, y);
+        g.backward(loss);
+        let gz = g.grad(z).unwrap();
+        assert!(gz.get(0, 0) < 0.0, "positive label pushes logit up");
+        assert!(gz.get(1, 0) > 0.0, "negative label pushes logit down");
+    }
+}

@@ -1,0 +1,908 @@
+//! Tape-based reverse-mode autograd.
+//!
+//! A [`Graph`] is a flat tape of nodes built eagerly (define-by-run): each
+//! op constructor computes its forward value immediately and records enough
+//! context for the backward pass. The tape is rebuilt per batch, which is what
+//! makes per-sample dynamic-parameter models (StSTL, APG, M2M) natural to
+//! express.
+//!
+//! Node ids are topologically ordered by construction, so the backward pass is
+//! a single reverse sweep over ids (see [`crate::backward`]).
+
+use crate::linalg;
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// The raw tape index of this node.
+    pub fn id(&self) -> usize {
+        self.0
+    }
+}
+
+/// The operation that produced a node. Inputs are tape indices.
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    /// Leaf node: external input or parameter.
+    Leaf,
+    /// `A · B`.
+    Matmul { a: usize, b: usize },
+    /// Elementwise `a + b` (same shape).
+    Add { a: usize, b: usize },
+    /// Elementwise `a - b`.
+    Sub { a: usize, b: usize },
+    /// Elementwise `a * b` (Hadamard).
+    Mul { a: usize, b: usize },
+    /// Elementwise `a / b`.
+    Div { a: usize, b: usize },
+    /// `a[m,n] + b[1,n]` broadcast over rows.
+    AddRow { a: usize, b: usize },
+    /// `a[m,n] * b[1,n]` broadcast over rows.
+    MulRow { a: usize, b: usize },
+    /// `a[m,n] + b[m,1]` broadcast over columns.
+    AddCol { a: usize, b: usize },
+    /// `a[m,n] * b[m,1]` broadcast over columns.
+    MulCol { a: usize, b: usize },
+    /// `c * a`.
+    Scale { a: usize, c: f32 },
+    /// `a + c`.
+    AddScalar { a: usize, #[allow(dead_code)] c: f32 },
+    Sigmoid { a: usize },
+    Tanh { a: usize },
+    Relu { a: usize },
+    LeakyRelu { a: usize, slope: f32 },
+    Exp { a: usize },
+    Ln { a: usize },
+    Sqrt { a: usize },
+    Square { a: usize },
+    /// Row-wise softmax.
+    SoftmaxRows { a: usize },
+    /// Row-wise softmax over positions where `mask != 0`; masked outputs are 0.
+    MaskedSoftmaxRows { a: usize, #[allow(dead_code)] mask: usize },
+    /// Horizontal concatenation of parts (equal row counts).
+    ConcatCols { parts: Vec<usize> },
+    /// Columns `[start, start+len)` of `a`.
+    SliceCols { a: usize, start: usize, len: usize },
+    /// Sum of all elements, `[1,1]`.
+    SumAll { a: usize },
+    /// Mean of all elements, `[1,1]`.
+    MeanAll { a: usize },
+    /// Row sums, `[m,1]`.
+    SumRows { a: usize },
+    /// Row means, `[m,1]`.
+    MeanRows { a: usize },
+    /// Column sums, `[1,n]`.
+    SumCols { a: usize },
+    /// Row-wise dot product of equal-shape tensors, `[m,1]`.
+    RowDot { a: usize, b: usize },
+    Transpose { a: usize },
+    /// Same buffer, new shape.
+    Reshape { a: usize },
+    /// Row `i` of `a` repeated `times` consecutive rows: `[m,n] -> [m*times,n]`.
+    RepeatRows { a: usize, times: usize },
+    /// `seq [m, t*d]` weighted by `w [m, t]` -> `[m, d]`.
+    SeqWeightedSum { seq: usize, w: usize, t: usize, d: usize },
+    /// Per-sample linear map: `w [m, out*inp]` applied to `x [m, inp]` -> `[m, out]`.
+    MetaLinear { w: usize, x: usize, out_dim: usize, in_dim: usize },
+    /// Like `MetaLinear` but with in-major weight layout: `y_o = Σ_i w[i*out+o]·x_i`.
+    MetaLinearInMajor { w: usize, x: usize, out_dim: usize, in_dim: usize },
+    /// Per-column batch normalization (no affine) using batch statistics.
+    BatchNormTrain { x: usize, eps: f32 },
+    /// Per-column normalization with fixed (running) statistics `mean`/`var` `[1,n]`.
+    NormalizeEval { x: usize, #[allow(dead_code)] mean: usize, var: usize, eps: f32 },
+    /// Mean binary cross-entropy over all elements of `logits` vs `labels`.
+    BceWithLogits { logits: usize, labels: usize },
+}
+
+/// Extra context saved by ops whose backward (or whose caller) needs it.
+#[derive(Debug, Clone)]
+pub(crate) enum Saved {
+    /// Batch statistics computed by [`Op::BatchNormTrain`].
+    BnStats { mean: Vec<f32>, var: Vec<f32> },
+}
+
+pub(crate) struct Node {
+    pub(crate) op: Op,
+    pub(crate) value: Tensor,
+    pub(crate) grad: Option<Tensor>,
+    pub(crate) requires_grad: bool,
+    pub(crate) saved: Option<Saved>,
+}
+
+/// A define-by-run autograd tape.
+#[derive(Default)]
+pub struct Graph {
+    pub(crate) nodes: Vec<Node>,
+    param_cache: HashMap<ParamId, Var>,
+    pub(crate) param_of_node: HashMap<usize, ParamId>,
+}
+
+impl Graph {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Bytes held by all node values and gradients currently on the tape —
+    /// the activation-memory measurement used by the Table VI accounting.
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| {
+                let g = n.grad.as_ref().map_or(0, Tensor::len);
+                (n.value.len() + g) * std::mem::size_of::<f32>()
+            })
+            .sum()
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of `v`, if backward reached it.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Batch statistics `(mean, var)` saved by a [`Graph::batch_norm_train`]
+    /// node; used by `BatchNorm1d` to update running statistics.
+    pub fn bn_saved(&self, v: Var) -> Option<(&[f32], &[f32])> {
+        match &self.nodes[v.0].saved {
+            Some(Saved::BnStats { mean, var }) => Some((mean, var)),
+            None => None,
+        }
+    }
+
+    fn push(&mut self, op: Op, value: Tensor, requires_grad: bool) -> Var {
+        self.push_saved(op, value, requires_grad, None)
+    }
+
+    fn push_saved(
+        &mut self,
+        op: Op,
+        value: Tensor,
+        requires_grad: bool,
+        saved: Option<Saved>,
+    ) -> Var {
+        debug_assert!(value.all_finite(), "non-finite forward value from {op:?}");
+        self.nodes.push(Node { op, value, grad: None, requires_grad, saved });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn rg(&self, id: usize) -> bool {
+        self.nodes[id].requires_grad
+    }
+
+    // ---------------------------------------------------------------- leaves
+
+    /// A constant leaf (no gradient flows into it).
+    pub fn input(&mut self, t: Tensor) -> Var {
+        self.push(Op::Leaf, t, false)
+    }
+
+    /// A leaf that accumulates gradient (used for embedding lookups whose
+    /// gradient is scatter-applied outside the graph).
+    pub fn input_with_grad(&mut self, t: Tensor) -> Var {
+        self.push(Op::Leaf, t, true)
+    }
+
+    /// A parameter leaf: copies the parameter's current value onto the tape
+    /// and remembers the mapping so [`ParamStore::accumulate_grads`] can pull
+    /// the gradient back. Repeated calls with the same id reuse the node.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        if let Some(&v) = self.param_cache.get(&id) {
+            return v;
+        }
+        let v = self.push(Op::Leaf, store.value(id).clone(), true);
+        self.param_cache.insert(id, v);
+        self.param_of_node.insert(v.0, id);
+        v
+    }
+
+    // ------------------------------------------------------------ binary ops
+
+    /// `a · b` for `a [m,k]`, `b [k,n]`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = linalg::matmul(self.value(a), self.value(b));
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(Op::Matmul { a: a.0, b: b.0 }, v, rg)
+    }
+
+    /// Elementwise sum; shapes must match.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip_map(self.value(b), |x, y| x + y);
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(Op::Add { a: a.0, b: b.0 }, v, rg)
+    }
+
+    /// Elementwise difference; shapes must match.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip_map(self.value(b), |x, y| x - y);
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(Op::Sub { a: a.0, b: b.0 }, v, rg)
+    }
+
+    /// Elementwise (Hadamard) product; shapes must match.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip_map(self.value(b), |x, y| x * y);
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(Op::Mul { a: a.0, b: b.0 }, v, rg)
+    }
+
+    /// Elementwise quotient; shapes must match and `b` must be nonzero.
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip_map(self.value(b), |x, y| x / y);
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(Op::Div { a: a.0, b: b.0 }, v, rg)
+    }
+
+    /// `a [m,n] + b [1,n]`, `b` broadcast over rows (bias add).
+    pub fn add_row(&mut self, a: Var, b: Var) -> Var {
+        let (m, n) = self.value(a).shape();
+        assert_eq!(self.value(b).shape(), (1, n), "add_row: b must be [1,{n}]");
+        let bd = self.value(b).data().to_vec();
+        let av = self.value(a);
+        let mut out = Tensor::zeros(m, n);
+        for r in 0..m {
+            let arow = av.row(r);
+            let orow = out.row_mut(r);
+            for j in 0..n {
+                orow[j] = arow[j] + bd[j];
+            }
+        }
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(Op::AddRow { a: a.0, b: b.0 }, out, rg)
+    }
+
+    /// `a [m,n] * b [1,n]`, `b` broadcast over rows.
+    pub fn mul_row(&mut self, a: Var, b: Var) -> Var {
+        let (m, n) = self.value(a).shape();
+        assert_eq!(self.value(b).shape(), (1, n), "mul_row: b must be [1,{n}]");
+        let bd = self.value(b).data().to_vec();
+        let av = self.value(a);
+        let mut out = Tensor::zeros(m, n);
+        for r in 0..m {
+            let arow = av.row(r);
+            let orow = out.row_mut(r);
+            for j in 0..n {
+                orow[j] = arow[j] * bd[j];
+            }
+        }
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(Op::MulRow { a: a.0, b: b.0 }, out, rg)
+    }
+
+    /// `a [m,n] + b [m,1]`, `b` broadcast over columns.
+    pub fn add_col(&mut self, a: Var, b: Var) -> Var {
+        let (m, n) = self.value(a).shape();
+        assert_eq!(self.value(b).shape(), (m, 1), "add_col: b must be [{m},1]");
+        let bd = self.value(b).data().to_vec();
+        let av = self.value(a);
+        let mut out = Tensor::zeros(m, n);
+        for r in 0..m {
+            let arow = av.row(r);
+            let orow = out.row_mut(r);
+            for j in 0..n {
+                orow[j] = arow[j] + bd[r];
+            }
+        }
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(Op::AddCol { a: a.0, b: b.0 }, out, rg)
+    }
+
+    /// `a [m,n] * b [m,1]`, `b` broadcast over columns (per-row scaling —
+    /// how StAEL applies its field weight α).
+    pub fn mul_col(&mut self, a: Var, b: Var) -> Var {
+        let (m, n) = self.value(a).shape();
+        assert_eq!(self.value(b).shape(), (m, 1), "mul_col: b must be [{m},1]");
+        let bd = self.value(b).data().to_vec();
+        let av = self.value(a);
+        let mut out = Tensor::zeros(m, n);
+        for r in 0..m {
+            let arow = av.row(r);
+            let orow = out.row_mut(r);
+            for j in 0..n {
+                orow[j] = arow[j] * bd[r];
+            }
+        }
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(Op::MulCol { a: a.0, b: b.0 }, out, rg)
+    }
+
+    // ------------------------------------------------------------- unary ops
+
+    /// `c * a`.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).map(|x| c * x);
+        let rg = self.rg(a.0);
+        self.push(Op::Scale { a: a.0, c }, v, rg)
+    }
+
+    /// `a + c`.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).map(|x| x + c);
+        let rg = self.rg(a.0);
+        self.push(Op::AddScalar { a: a.0, c }, v, rg)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(stable_sigmoid);
+        let rg = self.rg(a.0);
+        self.push(Op::Sigmoid { a: a.0 }, v, rg)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        let rg = self.rg(a.0);
+        self.push(Op::Tanh { a: a.0 }, v, rg)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        let rg = self.rg(a.0);
+        self.push(Op::Relu { a: a.0 }, v, rg)
+    }
+
+    /// Leaky ReLU with the given negative slope (the paper's activation).
+    pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
+        let rg = self.rg(a.0);
+        self.push(Op::LeakyRelu { a: a.0, slope }, v, rg)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::exp);
+        let rg = self.rg(a.0);
+        self.push(Op::Exp { a: a.0 }, v, rg)
+    }
+
+    /// Elementwise natural log (inputs must be positive).
+    pub fn ln(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::ln);
+        let rg = self.rg(a.0);
+        self.push(Op::Ln { a: a.0 }, v, rg)
+    }
+
+    /// Elementwise square root (inputs must be non-negative).
+    pub fn sqrt(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::sqrt);
+        let rg = self.rg(a.0);
+        self.push(Op::Sqrt { a: a.0 }, v, rg)
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x * x);
+        let rg = self.rg(a.0);
+        self.push(Op::Square { a: a.0 }, v, rg)
+    }
+
+    // ------------------------------------------------------- softmax / shape
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let av = self.value(a);
+        let (m, n) = av.shape();
+        let mut out = Tensor::zeros(m, n);
+        for r in 0..m {
+            softmax_into(av.row(r), out.row_mut(r));
+        }
+        let rg = self.rg(a.0);
+        self.push(Op::SoftmaxRows { a: a.0 }, out, rg)
+    }
+
+    /// Row-wise softmax restricted to positions where `mask != 0`; masked
+    /// positions produce 0. A fully masked row produces all zeros.
+    pub fn masked_softmax_rows(&mut self, a: Var, mask: Var) -> Var {
+        let av = self.value(a);
+        let mv = self.value(mask);
+        assert_eq!(av.shape(), mv.shape(), "masked_softmax: shape mismatch");
+        let (m, n) = av.shape();
+        let mut out = Tensor::zeros(m, n);
+        for r in 0..m {
+            masked_softmax_into(av.row(r), mv.row(r), out.row_mut(r));
+        }
+        let rg = self.rg(a.0);
+        self.push(Op::MaskedSoftmaxRows { a: a.0, mask: mask.0 }, out, rg)
+    }
+
+    /// Horizontal concatenation; all parts must have the same row count.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols: empty parts");
+        let m = self.value(parts[0]).rows();
+        let total: usize = parts.iter().map(|&p| {
+            let t = self.value(p);
+            assert_eq!(t.rows(), m, "concat_cols: row mismatch");
+            t.cols()
+        }).sum();
+        let mut out = Tensor::zeros(m, total);
+        let mut offset = 0;
+        for &p in parts {
+            let t = &self.nodes[p.0].value;
+            let w = t.cols();
+            for r in 0..m {
+                out.row_mut(r)[offset..offset + w].copy_from_slice(t.row(r));
+            }
+            offset += w;
+        }
+        let rg = parts.iter().any(|&p| self.rg(p.0));
+        self.push(Op::ConcatCols { parts: parts.iter().map(|p| p.0).collect() }, out, rg)
+    }
+
+    /// Columns `[start, start+len)` of `a`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let av = self.value(a);
+        let (m, n) = av.shape();
+        assert!(start + len <= n, "slice_cols: [{start},{}) out of {n}", start + len);
+        let mut out = Tensor::zeros(m, len);
+        for r in 0..m {
+            out.row_mut(r).copy_from_slice(&av.row(r)[start..start + len]);
+        }
+        let rg = self.rg(a.0);
+        self.push(Op::SliceCols { a: a.0, start, len }, out, rg)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.value(a).transposed();
+        let rg = self.rg(a.0);
+        self.push(Op::Transpose { a: a.0 }, v, rg)
+    }
+
+    /// Reinterpret the buffer as `rows x cols` (element count preserved).
+    pub fn reshape(&mut self, a: Var, rows: usize, cols: usize) -> Var {
+        let v = self.value(a).reshaped(rows, cols);
+        let rg = self.rg(a.0);
+        self.push(Op::Reshape { a: a.0 }, v, rg)
+    }
+
+    /// Repeat each row `times` consecutive times: `[m,n] -> [m*times, n]`.
+    /// Pairs a per-sample query with every sequence position.
+    pub fn repeat_rows(&mut self, a: Var, times: usize) -> Var {
+        assert!(times > 0, "repeat_rows: times must be positive");
+        let av = self.value(a);
+        let (m, n) = av.shape();
+        let mut out = Tensor::zeros(m * times, n);
+        for r in 0..m {
+            for k in 0..times {
+                out.row_mut(r * times + k).copy_from_slice(av.row(r));
+            }
+        }
+        let rg = self.rg(a.0);
+        self.push(Op::RepeatRows { a: a.0, times }, out, rg)
+    }
+
+    // ------------------------------------------------------------ reductions
+
+    /// Sum of all elements, `[1,1]`.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).sum() as f32);
+        let rg = self.rg(a.0);
+        self.push(Op::SumAll { a: a.0 }, v, rg)
+    }
+
+    /// Mean of all elements, `[1,1]`.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).mean() as f32);
+        let rg = self.rg(a.0);
+        self.push(Op::MeanAll { a: a.0 }, v, rg)
+    }
+
+    /// Row sums: `[m,n] -> [m,1]`.
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let av = self.value(a);
+        let v = Tensor::from_fn(av.rows(), 1, |r, _| av.row(r).iter().sum());
+        let rg = self.rg(a.0);
+        self.push(Op::SumRows { a: a.0 }, v, rg)
+    }
+
+    /// Row means: `[m,n] -> [m,1]`.
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let av = self.value(a);
+        let n = av.cols().max(1) as f32;
+        let v = Tensor::from_fn(av.rows(), 1, |r, _| av.row(r).iter().sum::<f32>() / n);
+        let rg = self.rg(a.0);
+        self.push(Op::MeanRows { a: a.0 }, v, rg)
+    }
+
+    /// Column sums: `[m,n] -> [1,n]`.
+    pub fn sum_cols(&mut self, a: Var) -> Var {
+        let av = self.value(a);
+        let (m, n) = av.shape();
+        let mut out = Tensor::zeros(1, n);
+        for r in 0..m {
+            for (o, &x) in out.row_mut(0).iter_mut().zip(av.row(r).iter()) {
+                *o += x;
+            }
+        }
+        let rg = self.rg(a.0);
+        self.push(Op::SumCols { a: a.0 }, out, rg)
+    }
+
+    /// Row-wise dot product of equal-shape tensors: `[m,n],[m,n] -> [m,1]`.
+    pub fn row_dot(&mut self, a: Var, b: Var) -> Var {
+        let av = self.value(a);
+        let bv = self.value(b);
+        assert_eq!(av.shape(), bv.shape(), "row_dot: shape mismatch");
+        let v = Tensor::from_fn(av.rows(), 1, |r, _| linalg::dot(av.row(r), bv.row(r)));
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(Op::RowDot { a: a.0, b: b.0 }, v, rg)
+    }
+
+    // ---------------------------------------------------------- fused ops
+
+    /// Weighted sum over sequence positions: `seq [m, t*d]` with weights
+    /// `w [m, t]` gives `[m, d]`: `out[r] = Σ_t w[r,t] · seq[r, t·d .. t·d+d]`.
+    pub fn seq_weighted_sum(&mut self, seq: Var, w: Var, t: usize, d: usize) -> Var {
+        let sv = self.value(seq);
+        let wv = self.value(w);
+        let m = sv.rows();
+        assert_eq!(sv.cols(), t * d, "seq_weighted_sum: seq cols {} != {t}*{d}", sv.cols());
+        assert_eq!(wv.shape(), (m, t), "seq_weighted_sum: weights must be [{m},{t}]");
+        let mut out = Tensor::zeros(m, d);
+        for r in 0..m {
+            let srow = sv.row(r);
+            let wrow = wv.row(r);
+            let orow = out.row_mut(r);
+            for (ti, &wt) in wrow.iter().enumerate() {
+                if wt == 0.0 {
+                    continue;
+                }
+                let block = &srow[ti * d..(ti + 1) * d];
+                for (o, &s) in orow.iter_mut().zip(block.iter()) {
+                    *o += wt * s;
+                }
+            }
+        }
+        let rg = self.rg(seq.0) || self.rg(w.0);
+        self.push(Op::SeqWeightedSum { seq: seq.0, w: w.0, t, d }, out, rg)
+    }
+
+    /// Per-sample linear map (the dynamic layer of StSTL / APG / M2M):
+    /// `w [m, out*inp]` holds a row-major `out x inp` matrix per sample,
+    /// applied to `x [m, inp]` giving `[m, out]`.
+    pub fn meta_linear(&mut self, w: Var, x: Var, out_dim: usize, in_dim: usize) -> Var {
+        let wv = self.value(w);
+        let xv = self.value(x);
+        let m = xv.rows();
+        assert_eq!(xv.cols(), in_dim, "meta_linear: x cols {} != {in_dim}", xv.cols());
+        assert_eq!(
+            wv.shape(),
+            (m, out_dim * in_dim),
+            "meta_linear: w must be [{m},{}]",
+            out_dim * in_dim
+        );
+        let mut out = Tensor::zeros(m, out_dim);
+        for r in 0..m {
+            let wrow = wv.row(r);
+            let xrow = xv.row(r);
+            let orow = out.row_mut(r);
+            for (o, oval) in orow.iter_mut().enumerate() {
+                *oval = linalg::dot(&wrow[o * in_dim..(o + 1) * in_dim], xrow);
+            }
+        }
+        let rg = self.rg(w.0) || self.rg(x.0);
+        self.push(Op::MetaLinear { w: w.0, x: x.0, out_dim, in_dim }, out, rg)
+    }
+
+    /// Per-sample linear map with **in-major** weight layout (a flattened
+    /// `[in, out]` matrix per sample): `y_o = Σ_i w[i*out + o] · x_i`.
+    /// Used where the per-sample weight is built by broadcasting a shared
+    /// `[in, out]` dense weight (e.g. STAR's `W_s ⊙ W_d`).
+    pub fn meta_linear_in_major(
+        &mut self,
+        w: Var,
+        x: Var,
+        out_dim: usize,
+        in_dim: usize,
+    ) -> Var {
+        let wv = self.value(w);
+        let xv = self.value(x);
+        let m = xv.rows();
+        assert_eq!(xv.cols(), in_dim, "meta_linear_in_major: x cols {} != {in_dim}", xv.cols());
+        assert_eq!(
+            wv.shape(),
+            (m, out_dim * in_dim),
+            "meta_linear_in_major: w must be [{m},{}]",
+            out_dim * in_dim
+        );
+        let mut out = Tensor::zeros(m, out_dim);
+        for r in 0..m {
+            let wrow = wv.row(r);
+            let xrow = xv.row(r);
+            let orow = out.row_mut(r);
+            for (i, &xi) in xrow.iter().enumerate() {
+                if xi == 0.0 {
+                    continue;
+                }
+                let wblock = &wrow[i * out_dim..(i + 1) * out_dim];
+                for (o, &wio) in orow.iter_mut().zip(wblock.iter()) {
+                    *o += wio * xi;
+                }
+            }
+        }
+        let rg = self.rg(w.0) || self.rg(x.0);
+        self.push(Op::MetaLinearInMajor { w: w.0, x: x.0, out_dim, in_dim }, out, rg)
+    }
+
+    // --------------------------------------------------------- normalization
+
+    /// Batch normalization core (no affine): per-column standardization with
+    /// the batch's own statistics. Saves `(mean, var)` retrievable via
+    /// [`Graph::bn_saved`] so layers can maintain running statistics.
+    pub fn batch_norm_train(&mut self, x: Var, eps: f32) -> Var {
+        let xv = self.value(x);
+        let (m, n) = xv.shape();
+        assert!(m > 0, "batch_norm_train: empty batch");
+        let mut mean = vec![0.0f32; n];
+        let mut var = vec![0.0f32; n];
+        for r in 0..m {
+            for (j, &v) in xv.row(r).iter().enumerate() {
+                mean[j] += v;
+            }
+        }
+        for mj in &mut mean {
+            *mj /= m as f32;
+        }
+        for r in 0..m {
+            for (j, &v) in xv.row(r).iter().enumerate() {
+                let d = v - mean[j];
+                var[j] += d * d;
+            }
+        }
+        for vj in &mut var {
+            *vj /= m as f32;
+        }
+        let mut out = Tensor::zeros(m, n);
+        for r in 0..m {
+            let xrow = xv.row(r);
+            let orow = out.row_mut(r);
+            for j in 0..n {
+                orow[j] = (xrow[j] - mean[j]) / (var[j] + eps).sqrt();
+            }
+        }
+        let rg = self.rg(x.0);
+        self.push_saved(
+            Op::BatchNormTrain { x: x.0, eps },
+            out,
+            rg,
+            Some(Saved::BnStats { mean, var }),
+        )
+    }
+
+    /// Normalization with fixed statistics (inference mode): `mean`/`var` are
+    /// `[1,n]` constant nodes (no gradient flows into them).
+    pub fn normalize_eval(&mut self, x: Var, mean: Var, var: Var, eps: f32) -> Var {
+        let xv = self.value(x);
+        let (m, n) = xv.shape();
+        assert_eq!(self.value(mean).shape(), (1, n), "normalize_eval: mean must be [1,{n}]");
+        assert_eq!(self.value(var).shape(), (1, n), "normalize_eval: var must be [1,{n}]");
+        let mu = self.value(mean).data().to_vec();
+        let va = self.value(var).data().to_vec();
+        let mut out = Tensor::zeros(m, n);
+        for r in 0..m {
+            let xrow = xv.row(r);
+            let orow = out.row_mut(r);
+            for j in 0..n {
+                orow[j] = (xrow[j] - mu[j]) / (va[j] + eps).sqrt();
+            }
+        }
+        let rg = self.rg(x.0);
+        self.push(Op::NormalizeEval { x: x.0, mean: mean.0, var: var.0, eps }, out, rg)
+    }
+
+    // ----------------------------------------------------------------- loss
+
+    /// Numerically stable mean binary cross-entropy from logits (Eq. 19 of the
+    /// paper, with the sigmoid of Eq. 18 fused in). `labels` carries no grad.
+    pub fn bce_with_logits(&mut self, logits: Var, labels: Var) -> Var {
+        let zv = self.value(logits);
+        let yv = self.value(labels);
+        assert_eq!(zv.shape(), yv.shape(), "bce_with_logits: shape mismatch");
+        let count = zv.len().max(1) as f64;
+        let mut total = 0.0f64;
+        for (&z, &y) in zv.data().iter().zip(yv.data().iter()) {
+            // max(z,0) - z*y + ln(1 + exp(-|z|))
+            let term = z.max(0.0) - z * y + (-z.abs()).exp().ln_1p();
+            total += term as f64;
+        }
+        let v = Tensor::scalar((total / count) as f32);
+        let rg = self.rg(logits.0);
+        self.push(Op::BceWithLogits { logits: logits.0, labels: labels.0 }, v, rg)
+    }
+}
+
+/// Numerically stable logistic function.
+pub fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+pub(crate) fn softmax_into(input: &[f32], out: &mut [f32]) {
+    let max = input.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for (o, &x) in out.iter_mut().zip(input.iter()) {
+        let e = (x - max).exp();
+        *o = e;
+        sum += e;
+    }
+    if sum > 0.0 {
+        for o in out.iter_mut() {
+            *o /= sum;
+        }
+    }
+}
+
+pub(crate) fn masked_softmax_into(input: &[f32], mask: &[f32], out: &mut [f32]) {
+    let mut max = f32::NEG_INFINITY;
+    for (&x, &m) in input.iter().zip(mask.iter()) {
+        if m != 0.0 && x > max {
+            max = x;
+        }
+    }
+    if max == f32::NEG_INFINITY {
+        out.iter_mut().for_each(|o| *o = 0.0);
+        return;
+    }
+    let mut sum = 0.0f32;
+    for ((o, &x), &m) in out.iter_mut().zip(input.iter()).zip(mask.iter()) {
+        if m != 0.0 {
+            let e = (x - max).exp();
+            *o = e;
+            sum += e;
+        } else {
+            *o = 0.0;
+        }
+    }
+    if sum > 0.0 {
+        for o in out.iter_mut() {
+            *o /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matmul_add() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = g.input(Tensor::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]));
+        let c = g.matmul(a, b);
+        assert_eq!(g.value(c).data(), &[19.0, 22.0, 43.0, 50.0]);
+        let d = g.add(c, c);
+        assert_eq!(g.value(d).get(0, 0), 38.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]));
+        let s = g.softmax_rows(a);
+        for r in 0..2 {
+            let sum: f32 = g.value(s).row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn masked_softmax_zeroes_masked() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_vec(1, 3, vec![1.0, 100.0, 2.0]));
+        let m = g.input(Tensor::from_vec(1, 3, vec![1.0, 0.0, 1.0]));
+        let s = g.masked_softmax_rows(a, m);
+        assert_eq!(g.value(s).get(0, 1), 0.0);
+        let sum: f32 = g.value(s).row(0).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn masked_softmax_all_masked_is_zero() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let m = g.input(Tensor::zeros(1, 2));
+        let s = g.masked_softmax_rows(a, m);
+        assert_eq!(g.value(s).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = g.input(Tensor::from_vec(2, 1, vec![9.0, 8.0]));
+        let c = g.concat_cols(&[a, b]);
+        assert_eq!(g.value(c).shape(), (2, 3));
+        assert_eq!(g.value(c).row(1), &[3.0, 4.0, 8.0]);
+        let s = g.slice_cols(c, 2, 1);
+        assert_eq!(g.value(s).data(), &[9.0, 8.0]);
+    }
+
+    #[test]
+    fn repeat_rows_layout() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let r = g.repeat_rows(a, 3);
+        assert_eq!(g.value(r).shape(), (6, 2));
+        assert_eq!(g.value(r).row(0), &[1.0, 2.0]);
+        assert_eq!(g.value(r).row(2), &[1.0, 2.0]);
+        assert_eq!(g.value(r).row(3), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn seq_weighted_sum_forward() {
+        let mut g = Graph::new();
+        // 1 sample, t=2, d=2: positions [1,2] and [3,4]; weights [0.5, 2.0]
+        let seq = g.input(Tensor::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]));
+        let w = g.input(Tensor::from_vec(1, 2, vec![0.5, 2.0]));
+        let out = g.seq_weighted_sum(seq, w, 2, 2);
+        assert_eq!(g.value(out).data(), &[6.5, 9.0]);
+    }
+
+    #[test]
+    fn meta_linear_forward() {
+        let mut g = Graph::new();
+        // per-sample W = [[1,0],[0,2],[1,1]] (3x2), x = [3, 5] -> y = [3, 10, 8]
+        let w = g.input(Tensor::from_vec(1, 6, vec![1.0, 0.0, 0.0, 2.0, 1.0, 1.0]));
+        let x = g.input(Tensor::from_vec(1, 2, vec![3.0, 5.0]));
+        let y = g.meta_linear(w, x, 3, 2);
+        assert_eq!(g.value(y).data(), &[3.0, 10.0, 8.0]);
+    }
+
+    #[test]
+    fn batch_norm_train_standardizes() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(4, 1, vec![1.0, 2.0, 3.0, 4.0]));
+        let y = g.batch_norm_train(x, 1e-5);
+        let v = g.value(y);
+        let mean: f32 = v.data().iter().sum::<f32>() / 4.0;
+        let var: f32 = v.data().iter().map(|d| (d - mean) * (d - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+        let (m, s) = g.bn_saved(y).unwrap();
+        assert!((m[0] - 2.5).abs() < 1e-6);
+        assert!((s[0] - 1.25).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_known_value() {
+        let mut g = Graph::new();
+        let z = g.input(Tensor::from_vec(2, 1, vec![0.0, 0.0]));
+        let y = g.input(Tensor::from_vec(2, 1, vec![1.0, 0.0]));
+        let l = g.bce_with_logits(z, y);
+        // -ln(0.5) for both.
+        assert!((g.value(l).item() - 0.6931472).abs() < 1e-5);
+    }
+
+    #[test]
+    fn stable_sigmoid_extremes() {
+        assert!(stable_sigmoid(100.0) > 0.999_999);
+        assert!(stable_sigmoid(-100.0) < 1e-6);
+        assert!((stable_sigmoid(0.0) - 0.5).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,161 @@
+//! Matrix-multiplication kernels.
+//!
+//! Three variants cover forward and both backward passes of a dense layer
+//! without materializing explicit transposes:
+//!
+//! * `matmul`        — `C += A  · B`
+//! * `matmul_at_b`   — `C += Aᵀ · B` (weight gradients)
+//! * `matmul_a_bt`   — `C += A  · Bᵀ` (input gradients)
+//!
+//! All kernels use the cache-friendly `i-k-j` loop order so the innermost loop
+//! streams contiguous rows of `B` and `C`, which the compiler auto-vectorizes.
+
+use crate::tensor::Tensor;
+
+/// `C = A · B` where `A: [m,k]`, `B: [k,n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2, "matmul: inner dims {k} vs {k2} (A {m}x{k}, B {k2}x{n})");
+    let mut c = Tensor::zeros(m, n);
+    matmul_acc(a, b, &mut c);
+    c
+}
+
+/// `C += A · B` into an existing output buffer.
+pub fn matmul_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    let (m, k) = a.shape();
+    let (_, n) = b.shape();
+    debug_assert_eq!(c.shape(), (m, n));
+    let ad = a.data();
+    let bd = b.data();
+    let cd = c.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let crow = &mut cd[i * n..(i + 1) * n];
+        for (p, &aip) in arow.iter().enumerate() {
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += aip * bv;
+            }
+        }
+    }
+}
+
+/// `C = Aᵀ · B` where `A: [k,m]`, `B: [k,n]`, result `[m,n]`.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2, "matmul_at_b: outer dims {k} vs {k2}");
+    let mut c = Tensor::zeros(m, n);
+    let ad = a.data();
+    let bd = b.data();
+    let cd = c.data_mut();
+    // For each shared row p of A and B, rank-1 update C += A[p,:]ᵀ · B[p,:].
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C = A · Bᵀ` where `A: [m,k]`, `B: [n,k]`, result `[m,n]`.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let (n, k2) = b.shape();
+    assert_eq!(k, k2, "matmul_a_bt: inner dims {k} vs {k2}");
+    let mut c = Tensor::zeros(m, n);
+    let ad = a.data();
+    let bd = b.data();
+    let cd = c.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let crow = &mut cd[i * n..(i + 1) * n];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                acc += av * bv;
+            }
+            *cv = acc;
+        }
+    }
+    c
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Prng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.shape();
+        let (_, n) = b.shape();
+        Tensor::from_fn(m, n, |i, j| (0..k).map(|p| a.get(i, p) * b.get(p, j)).sum())
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = Prng::seeded(1);
+        let a = rng.randn(7, 5, 1.0);
+        let b = rng.randn(5, 9, 1.0);
+        assert_close(&matmul(&a, &b), &naive(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn at_b_matches_transpose() {
+        let mut rng = Prng::seeded(2);
+        let a = rng.randn(6, 4, 1.0);
+        let b = rng.randn(6, 3, 1.0);
+        assert_close(&matmul_at_b(&a, &b), &matmul(&a.transposed(), &b), 1e-4);
+    }
+
+    #[test]
+    fn a_bt_matches_transpose() {
+        let mut rng = Prng::seeded(3);
+        let a = rng.randn(6, 4, 1.0);
+        let b = rng.randn(5, 4, 1.0);
+        assert_close(&matmul_a_bt(&a, &b), &matmul(&a, &b.transposed()), 1e-4);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let mut rng = Prng::seeded(4);
+        let a = rng.randn(4, 4, 1.0);
+        let eye = Tensor::from_fn(4, 4, |i, j| if i == j { 1.0 } else { 0.0 });
+        assert_close(&matmul(&a, &eye), &a, 1e-6);
+        assert_close(&matmul(&eye, &a), &a, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn shape_mismatch_panics() {
+        matmul(&Tensor::zeros(2, 3), &Tensor::zeros(4, 2));
+    }
+}

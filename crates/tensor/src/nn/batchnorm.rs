@@ -1,0 +1,183 @@
+//! Batch normalization with running statistics (Eq. 14 of the paper) and the
+//! normalize-only core needed by BASM's Fusion BNs (Eq. 17).
+
+use crate::graph::{Graph, Var};
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// 1-D batch normalization over the feature dimension.
+///
+/// In training mode the batch's own statistics normalize the activations and
+/// update the running estimates; in inference mode the running estimates are
+/// used. `forward` applies the learned affine (γ, β); [`BatchNorm1d::normalize`]
+/// exposes the affine-free core so callers can apply a *modulated* affine —
+/// exactly what BASM's Fusion BN does:
+/// `γ_bias ⊙ γ ⊙ x̂ + β + β_bias` (Eq. 17).
+pub struct BatchNorm1d {
+    /// Scale γ `[1, dim]`.
+    pub gamma: ParamId,
+    /// Shift β `[1, dim]`.
+    pub beta: ParamId,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    dim: usize,
+}
+
+impl BatchNorm1d {
+    /// Register a BN layer over `dim` features.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        let gamma = store.add(format!("{name}.gamma"), Tensor::ones(1, dim));
+        let beta = store.add(format!("{name}.beta"), Tensor::zeros(1, dim));
+        Self {
+            gamma,
+            beta,
+            running_mean: vec![0.0; dim],
+            running_var: vec![1.0; dim],
+            momentum: 0.1,
+            eps: 1e-5,
+            dim,
+        }
+    }
+
+    /// Feature width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The affine-free normalization `x̂ = (x - μ)/√(σ² + ε)`.
+    ///
+    /// Training mode uses (and records) batch statistics; inference mode uses
+    /// the running estimates.
+    pub fn normalize(&mut self, g: &mut Graph, x: Var, training: bool) -> Var {
+        assert_eq!(g.value(x).cols(), self.dim, "BatchNorm1d: width mismatch");
+        if training {
+            let out = g.batch_norm_train(x, self.eps);
+            let (mean, var) = g.bn_saved(out).expect("BN stats saved in training mode");
+            for j in 0..self.dim {
+                self.running_mean[j] =
+                    (1.0 - self.momentum) * self.running_mean[j] + self.momentum * mean[j];
+                self.running_var[j] =
+                    (1.0 - self.momentum) * self.running_var[j] + self.momentum * var[j];
+            }
+            out
+        } else {
+            let mean = g.input(Tensor::row_vec(&self.running_mean));
+            let var = g.input(Tensor::row_vec(&self.running_var));
+            g.normalize_eval(x, mean, var, self.eps)
+        }
+    }
+
+    /// Standard BN: normalize then apply the learned affine `γ x̂ + β`.
+    pub fn forward(
+        &mut self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: Var,
+        training: bool,
+    ) -> Var {
+        let xhat = self.normalize(g, x, training);
+        let gamma = g.param(store, self.gamma);
+        let beta = g.param(store, self.beta);
+        let scaled = g.mul_row(xhat, gamma);
+        g.add_row(scaled, beta)
+    }
+
+    /// Running mean estimate (inference statistics).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Running variance estimate (inference statistics).
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+
+    /// Overwrite the running statistics (checkpoint restore).
+    pub fn import_stats(&mut self, mean: &[f32], var: &[f32]) {
+        assert_eq!(mean.len(), self.dim, "import_stats: mean width");
+        assert_eq!(var.len(), self.dim, "import_stats: var width");
+        self.running_mean.copy_from_slice(mean);
+        self.running_var.copy_from_slice(var);
+    }
+
+    /// Trainable scalars (γ and β).
+    pub fn num_params(&self) -> usize {
+        2 * self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Prng;
+
+    #[test]
+    fn training_output_is_standardized() {
+        let mut store = ParamStore::new();
+        let mut bn = BatchNorm1d::new(&mut store, "bn", 3);
+        let mut rng = Prng::seeded(1);
+        let x = rng.randn(64, 3, 5.0).map(|v| v + 10.0);
+        let mut g = Graph::new();
+        let xv = g.input(x);
+        let y = bn.forward(&mut g, &store, xv, true);
+        let out = g.value(y);
+        for j in 0..3 {
+            let col: Vec<f32> = (0..64).map(|r| out.get(r, j)).collect();
+            let mean: f32 = col.iter().sum::<f32>() / 64.0;
+            let var: f32 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-4, "col {j} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "col {j} var {var}");
+        }
+    }
+
+    #[test]
+    fn running_stats_approach_distribution() {
+        let mut store = ParamStore::new();
+        let mut bn = BatchNorm1d::new(&mut store, "bn", 1);
+        let mut rng = Prng::seeded(2);
+        for _ in 0..200 {
+            let x = rng.randn(128, 1, 2.0).map(|v| v + 4.0);
+            let mut g = Graph::new();
+            let xv = g.input(x);
+            bn.normalize(&mut g, xv, true);
+        }
+        assert!((bn.running_mean()[0] - 4.0).abs() < 0.3, "{}", bn.running_mean()[0]);
+        assert!((bn.running_var()[0] - 4.0).abs() < 0.8, "{}", bn.running_var()[0]);
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut store = ParamStore::new();
+        let mut bn = BatchNorm1d::new(&mut store, "bn", 1);
+        let mut rng = Prng::seeded(3);
+        for _ in 0..100 {
+            let x = rng.randn(128, 1, 1.0).map(|v| v + 2.0);
+            let mut g = Graph::new();
+            let xv = g.input(x);
+            bn.normalize(&mut g, xv, true);
+        }
+        // At inference a constant input equal to the running mean maps to ~0.
+        let mut g = Graph::new();
+        let xv = g.input(Tensor::full(4, 1, bn.running_mean()[0]));
+        let y = bn.forward(&mut g, &store, xv, false);
+        assert!(g.value(y).max_abs() < 0.05, "{:?}", g.value(y));
+    }
+
+    #[test]
+    fn gradient_flows_through_bn() {
+        let mut store = ParamStore::new();
+        let mut bn = BatchNorm1d::new(&mut store, "bn", 2);
+        let mut rng = Prng::seeded(4);
+        let mut g = Graph::new();
+        let x = g.input_with_grad(rng.randn(8, 2, 1.0));
+        let y = bn.forward(&mut g, &store, x, true);
+        let sq = g.square(y);
+        let loss = g.mean_all(sq);
+        g.backward(loss);
+        store.accumulate_grads(&g);
+        assert!(g.grad(x).is_some());
+        assert!(store.grad(bn.gamma).max_abs() > 0.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Sparse embedding tables with per-row Adagrad state.
+//!
+//! Industrial CTR systems keep embedding parameters out of the dense
+//! optimizer: lookups touch a handful of rows per batch and updates are
+//! scatter-applied with per-coordinate Adagrad. We mirror that split —
+//! [`EmbeddingStore::lookup`] produces a gradient-requiring *leaf* on the
+//! autograd tape and records which rows it came from; after `backward`,
+//! [`EmbeddingStore::apply_grads`] drains those records and applies sparse
+//! Adagrad updates.
+//!
+//! Row 0 of every table is the padding/OOV row: it stays frozen at zero so
+//! padded sequence positions contribute nothing even without masking.
+
+use crate::graph::{Graph, Var};
+use crate::rng::Prng;
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+
+/// Identifier of a table inside an [`EmbeddingStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableId(usize);
+
+/// A single embedding matrix `[rows, dim]` with Adagrad accumulators.
+pub struct EmbeddingTable {
+    name: String,
+    rows: usize,
+    dim: usize,
+    weights: Vec<f32>,
+    accum: Vec<f32>,
+}
+
+impl EmbeddingTable {
+    /// Create a table with `N(0, init_std²)` entries; row 0 is zeroed
+    /// (padding).
+    pub fn new(rng: &mut Prng, name: impl Into<String>, rows: usize, dim: usize, init_std: f32) -> Self {
+        assert!(rows >= 1 && dim >= 1, "EmbeddingTable: empty shape");
+        let mut weights = Vec::with_capacity(rows * dim);
+        for _ in 0..rows * dim {
+            weights.push(rng.normal() * init_std);
+        }
+        weights[..dim].iter_mut().for_each(|w| *w = 0.0);
+        Self { name: name.into(), rows, dim, weights, accum: vec![0.0; rows * dim] }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Vocabulary size (including the padding row).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The embedding of a single id.
+    pub fn row(&self, id: u32) -> &[f32] {
+        let id = id as usize;
+        assert!(id < self.rows, "embedding id {id} out of {} rows of {}", self.rows, self.name);
+        &self.weights[id * self.dim..(id + 1) * self.dim]
+    }
+
+    /// Gather `ids` into a dense `[ids.len(), dim]` tensor.
+    pub fn gather(&self, ids: &[u32]) -> Tensor {
+        let mut out = Tensor::zeros(ids.len(), self.dim);
+        for (r, &id) in ids.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(self.row(id));
+        }
+        out
+    }
+
+    /// Scatter-apply Adagrad updates: `grad` is `[ids.len(), dim]`. Duplicate
+    /// ids are accumulated before the update (one Adagrad step per distinct
+    /// row per call). Row 0 is skipped (frozen padding).
+    pub fn apply_grad(&mut self, ids: &[u32], grad: &Tensor, lr: f32, eps: f32) {
+        assert_eq!(grad.shape(), (ids.len(), self.dim), "apply_grad shape mismatch");
+        let mut by_row: HashMap<u32, Vec<f32>> = HashMap::new();
+        for (r, &id) in ids.iter().enumerate() {
+            if id == 0 {
+                continue;
+            }
+            let acc = by_row.entry(id).or_insert_with(|| vec![0.0; self.dim]);
+            for (a, &g) in acc.iter_mut().zip(grad.row(r).iter()) {
+                *a += g;
+            }
+        }
+        for (id, gacc) in by_row {
+            let base = id as usize * self.dim;
+            for (j, &g) in gacc.iter().enumerate() {
+                let slot = base + j;
+                self.accum[slot] += g * g;
+                self.weights[slot] -= lr * g / (self.accum[slot].sqrt() + eps);
+            }
+        }
+    }
+
+    /// Trainable scalars.
+    pub fn num_params(&self) -> usize {
+        self.rows * self.dim
+    }
+
+    /// Bytes held by weights + optimizer state.
+    pub fn memory_bytes(&self) -> usize {
+        (self.weights.len() + self.accum.len()) * std::mem::size_of::<f32>()
+    }
+}
+
+struct PendingLookup {
+    table: TableId,
+    ids: Vec<u32>,
+    var: Var,
+}
+
+/// A set of named embedding tables plus the lookup journal that connects them
+/// to an autograd [`Graph`].
+#[derive(Default)]
+pub struct EmbeddingStore {
+    tables: Vec<EmbeddingTable>,
+    by_name: HashMap<String, TableId>,
+    journal: Vec<PendingLookup>,
+    /// Sparse-Adagrad epsilon shared by all tables.
+    pub eps: f32,
+}
+
+impl EmbeddingStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self { tables: Vec::new(), by_name: HashMap::new(), journal: Vec::new(), eps: 1e-6 }
+    }
+
+    /// Register a table; names must be unique.
+    pub fn add_table(
+        &mut self,
+        rng: &mut Prng,
+        name: impl Into<String>,
+        rows: usize,
+        dim: usize,
+        init_std: f32,
+    ) -> TableId {
+        let name = name.into();
+        assert!(!self.by_name.contains_key(&name), "duplicate table {name:?}");
+        let id = TableId(self.tables.len());
+        self.by_name.insert(name.clone(), id);
+        self.tables.push(EmbeddingTable::new(rng, name, rows, dim, init_std));
+        id
+    }
+
+    /// The table behind an id.
+    pub fn table(&self, id: TableId) -> &EmbeddingTable {
+        &self.tables[id.0]
+    }
+
+    /// Find a table by name.
+    pub fn id_of(&self, name: &str) -> Option<TableId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Gather `ids` onto the tape as a gradient-requiring leaf `[ids.len(), dim]`
+    /// and record the lookup for the later sparse update.
+    pub fn lookup(&mut self, g: &mut Graph, table: TableId, ids: &[u32]) -> Var {
+        let dense = self.tables[table.0].gather(ids);
+        let var = g.input_with_grad(dense);
+        self.journal.push(PendingLookup { table, ids: ids.to_vec(), var });
+        var
+    }
+
+    /// Gather without recording (inference-only lookups).
+    pub fn lookup_frozen(&self, g: &mut Graph, table: TableId, ids: &[u32]) -> Var {
+        g.input(self.tables[table.0].gather(ids))
+    }
+
+    /// Drain the journal, scatter-applying Adagrad updates from the tape's
+    /// gradients. Lookups whose leaf received no gradient are skipped.
+    pub fn apply_grads(&mut self, g: &Graph, lr: f32) {
+        let eps = self.eps;
+        for pending in self.journal.drain(..) {
+            if let Some(grad) = g.grad(pending.var) {
+                self.tables[pending.table.0].apply_grad(&pending.ids, grad, lr, eps);
+            }
+        }
+    }
+
+    /// Discard pending lookups without applying (inference passes).
+    pub fn clear_journal(&mut self) {
+        self.journal.clear();
+    }
+
+    /// Total trainable scalars across all tables.
+    pub fn num_params(&self) -> usize {
+        self.tables.iter().map(EmbeddingTable::num_params).sum()
+    }
+
+    /// Total bytes (weights + Adagrad state).
+    pub fn memory_bytes(&self) -> usize {
+        self.tables.iter().map(EmbeddingTable::memory_bytes).sum()
+    }
+
+    /// Iterate over the registered tables.
+    pub fn tables(&self) -> impl Iterator<Item = &EmbeddingTable> {
+        self.tables.iter()
+    }
+
+    /// Overwrite a table's weights from a flat `rows*dim` buffer (checkpoint
+    /// restore). Optimizer accumulators reset to zero.
+    pub fn overwrite_table(&mut self, id: TableId, flat: &[f32]) {
+        let t = &mut self.tables[id.0];
+        assert_eq!(flat.len(), t.rows * t.dim, "overwrite_table: size mismatch");
+        t.weights.copy_from_slice(flat);
+        t.accum.iter_mut().for_each(|a| *a = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_row_is_zero_and_frozen() {
+        let mut rng = Prng::seeded(1);
+        let mut t = EmbeddingTable::new(&mut rng, "t", 10, 4, 0.1);
+        assert_eq!(t.row(0), &[0.0; 4]);
+        let grad = Tensor::ones(1, 4);
+        t.apply_grad(&[0], &grad, 0.1, 1e-6);
+        assert_eq!(t.row(0), &[0.0; 4]);
+    }
+
+    #[test]
+    fn gather_matches_rows() {
+        let mut rng = Prng::seeded(2);
+        let t = EmbeddingTable::new(&mut rng, "t", 10, 3, 0.1);
+        let got = t.gather(&[3, 7, 3]);
+        assert_eq!(got.row(0), t.row(3));
+        assert_eq!(got.row(1), t.row(7));
+        assert_eq!(got.row(2), t.row(3));
+    }
+
+    #[test]
+    fn duplicate_ids_accumulate_once() {
+        let mut rng = Prng::seeded(3);
+        let mut t = EmbeddingTable::new(&mut rng, "t", 4, 2, 0.0);
+        // All weights zero; apply the same grad to id 1 via two duplicate rows.
+        let grad = Tensor::from_vec(2, 2, vec![1.0, 0.0, 1.0, 0.0]);
+        t.apply_grad(&[1, 1], &grad, 1.0, 0.0);
+        // Accumulated g=2, acc=4, update = 2/sqrt(4) = 1.
+        assert!((t.row(1)[0] + 1.0).abs() < 1e-6, "{:?}", t.row(1));
+    }
+
+    #[test]
+    fn store_end_to_end_update() {
+        let mut rng = Prng::seeded(4);
+        let mut store = EmbeddingStore::new();
+        let tid = store.add_table(&mut rng, "item", 100, 4, 0.05);
+        let before = store.table(tid).row(5).to_vec();
+
+        let mut g = Graph::new();
+        let e = store.lookup(&mut g, tid, &[5, 6]);
+        let s = g.square(e);
+        let loss = g.mean_all(s);
+        g.backward(loss);
+        store.apply_grads(&g, 0.5);
+
+        let after = store.table(tid).row(5);
+        assert_ne!(before.as_slice(), after, "row 5 should move");
+    }
+
+    #[test]
+    fn frozen_lookup_does_not_journal() {
+        let mut rng = Prng::seeded(5);
+        let mut store = EmbeddingStore::new();
+        let tid = store.add_table(&mut rng, "item", 10, 2, 0.05);
+        let before = store.table(tid).row(1).to_vec();
+        let mut g = Graph::new();
+        let e = store.lookup_frozen(&mut g, tid, &[1]);
+        assert_eq!(g.value(e).row(0), before.as_slice());
+        // No journal entry means apply_grads is a no-op.
+        store.apply_grads(&g, 1.0);
+        assert_eq!(store.table(tid).row(1), before.as_slice());
+    }
+
+    #[test]
+    fn out_of_range_panics() {
+        let mut rng = Prng::seeded(6);
+        let t = EmbeddingTable::new(&mut rng, "t", 4, 2, 0.1);
+        let r = std::panic::catch_unwind(|| t.gather(&[4]));
+        assert!(r.is_err());
+    }
+}

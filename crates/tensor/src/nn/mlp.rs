@@ -1,0 +1,150 @@
+//! Multi-layer perceptron tower.
+
+use crate::graph::{Graph, Var};
+use crate::nn::linear::Linear;
+use crate::params::ParamStore;
+use crate::rng::Prng;
+
+/// Activation function applied between (and optionally after) layers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Activation {
+    /// Identity.
+    None,
+    Relu,
+    /// Leaky ReLU with the given negative slope — the paper's activation
+    /// (§III-A4); 0.01 unless stated otherwise.
+    LeakyRelu(f32),
+    Sigmoid,
+    Tanh,
+}
+
+impl Activation {
+    /// Apply the activation to a node.
+    pub fn apply(&self, g: &mut Graph, x: Var) -> Var {
+        match *self {
+            Activation::None => x,
+            Activation::Relu => g.relu(x),
+            Activation::LeakyRelu(s) => g.leaky_relu(x, s),
+            Activation::Sigmoid => g.sigmoid(x),
+            Activation::Tanh => g.tanh(x),
+        }
+    }
+}
+
+/// A stack of [`Linear`] layers with a shared hidden activation. The final
+/// layer is linear (no activation) — the usual CTR-tower shape where the last
+/// output feeds a sigmoid/BCE head.
+pub struct Mlp {
+    layers: Vec<Linear>,
+    act: Activation,
+}
+
+impl Mlp {
+    /// Build from a dims spec: `&[in, h1, h2, ..., out]` (at least 2 entries).
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut Prng,
+        name: &str,
+        dims: &[usize],
+        act: Activation,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp: need at least [in, out] dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, rng, &format!("{name}.fc{i}"), w[0], w[1], true))
+            .collect();
+        Self { layers, act }
+    }
+
+    /// Forward pass; hidden activations between layers, linear output.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(g, store, h);
+            if i < last {
+                h = self.act.apply(g, h);
+            }
+        }
+        h
+    }
+
+    /// The individual layers (used by towers that interleave normalization).
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// The hidden activation.
+    pub fn activation(&self) -> Activation {
+        self.act
+    }
+
+    /// Total trainable scalars.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Linear::num_params).sum()
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").in_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn shapes_through_stack() {
+        let mut store = ParamStore::new();
+        let mut rng = Prng::seeded(1);
+        let mlp = Mlp::new(&mut store, &mut rng, "t", &[8, 16, 4, 1], Activation::LeakyRelu(0.01));
+        assert_eq!(mlp.in_dim(), 8);
+        assert_eq!(mlp.out_dim(), 1);
+        assert_eq!(mlp.num_params(), 8 * 16 + 16 + 16 * 4 + 4 + 4 + 1);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(3, 8));
+        let y = mlp.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).shape(), (3, 1));
+    }
+
+    #[test]
+    fn learns_xor() {
+        use crate::optim::{Adam, Optimizer};
+        let mut store = ParamStore::new();
+        let mut rng = Prng::seeded(7);
+        let mlp = Mlp::new(&mut store, &mut rng, "xor", &[2, 8, 1], Activation::Tanh);
+        let xs = Tensor::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        let ys = Tensor::from_vec(4, 1, vec![0.0, 1.0, 1.0, 0.0]);
+        let mut opt = Adam::default_params();
+        let mut last = f32::MAX;
+        for _ in 0..600 {
+            store.zero_grads();
+            let mut g = Graph::new();
+            let x = g.input(xs.clone());
+            let y = g.input(ys.clone());
+            let logits = mlp.forward(&mut g, &store, x);
+            let loss = g.bce_with_logits(logits, y);
+            g.backward(loss);
+            store.accumulate_grads(&g);
+            opt.step(&mut store, 0.05);
+            last = g.value(loss).item();
+        }
+        assert!(last < 0.05, "XOR loss {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn rejects_single_dim() {
+        let mut store = ParamStore::new();
+        let mut rng = Prng::seeded(1);
+        Mlp::new(&mut store, &mut rng, "bad", &[4], Activation::Relu);
+    }
+}

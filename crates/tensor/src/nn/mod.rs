@@ -1,0 +1,21 @@
+//! Neural-network layers composed on top of the autograd [`Graph`].
+//!
+//! Layers register their dense parameters in a [`ParamStore`] at construction
+//! and build tape nodes in `forward`. Sparse parameters (embedding tables)
+//! live in [`embedding`] with their own per-row optimizer state, mirroring how
+//! industrial CTR systems separate sparse and dense updates.
+//!
+//! [`Graph`]: crate::graph::Graph
+//! [`ParamStore`]: crate::params::ParamStore
+
+pub mod attention;
+pub mod batchnorm;
+pub mod embedding;
+pub mod linear;
+pub mod mlp;
+
+pub use attention::{MultiHeadTargetAttention, SelfAttentionLayer, TargetAttention};
+pub use batchnorm::BatchNorm1d;
+pub use embedding::{EmbeddingStore, EmbeddingTable, TableId};
+pub use linear::Linear;
+pub use mlp::{Activation, Mlp};

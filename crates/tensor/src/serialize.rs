@@ -1,0 +1,327 @@
+//! Binary checkpointing for dense parameters and embedding tables.
+//!
+//! The paper's deployment flow (Fig. 13) trains offline (AOP) and ships the
+//! model to a Real-Time Prediction service. This module is that handoff: a
+//! versioned little-endian binary format for [`ParamStore`] and
+//! [`EmbeddingStore`] contents, restored **by name** so a checkpoint survives
+//! reordering of layer construction (but not renaming).
+
+use crate::nn::embedding::EmbeddingStore;
+use crate::params::ParamStore;
+use crate::tensor::Tensor;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::HashMap;
+
+const MAGIC: &[u8; 8] = b"BASMCKPT";
+const VERSION: u32 = 1;
+
+/// Errors produced when reading a checkpoint.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Not a checkpoint file / wrong magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Buffer ended prematurely or lengths disagree.
+    Truncated,
+    /// A named entry in the store has no counterpart in the checkpoint.
+    Missing(String),
+    /// Shape in the checkpoint disagrees with the live store.
+    ShapeMismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a BASM checkpoint"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::Missing(n) => write!(f, "checkpoint missing entry {n:?}"),
+            CheckpointError::ShapeMismatch(n) => write!(f, "shape mismatch for {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, CheckpointError> {
+    if buf.remaining() < 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(CheckpointError::Truncated);
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| CheckpointError::Truncated)
+}
+
+fn put_f32s(buf: &mut BytesMut, data: &[f32]) {
+    buf.put_u64_le(data.len() as u64);
+    for &v in data {
+        buf.put_f32_le(v);
+    }
+}
+
+fn get_f32s(buf: &mut Bytes) -> Result<Vec<f32>, CheckpointError> {
+    if buf.remaining() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let len = buf.get_u64_le() as usize;
+    if buf.remaining() < len * 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    Ok((0..len).map(|_| buf.get_f32_le()).collect())
+}
+
+/// Serialize the dense parameters and every embedding table (weights only —
+/// optimizer state is a training concern, not a serving one).
+pub fn save_checkpoint(params: &ParamStore, embeddings: &EmbeddingStore) -> Bytes {
+    let mut buf = begin_checkpoint(params);
+    append_embeddings(&mut buf, embeddings);
+    buf.freeze()
+}
+
+/// Stage 1 of saving: header + dense-parameter section. Callers that cannot
+/// borrow both stores at once (e.g. through `&mut dyn CtrModel` accessors)
+/// chain this with [`append_embeddings`].
+pub fn begin_checkpoint(params: &ParamStore) -> BytesMut {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+
+    buf.put_u32_le(params.len() as u32);
+    for id in params.ids() {
+        put_str(&mut buf, params.name(id));
+        let t = params.value(id);
+        buf.put_u32_le(t.rows() as u32);
+        buf.put_u32_le(t.cols() as u32);
+        put_f32s(&mut buf, t.data());
+    }
+    buf
+}
+
+/// Stage 2 of saving: append every embedding table.
+pub fn append_embeddings(buf: &mut BytesMut, embeddings: &EmbeddingStore) {
+    let tables: Vec<_> = embeddings.tables().collect();
+    buf.put_u32_le(tables.len() as u32);
+    for t in tables {
+        put_str(buf, t.name());
+        buf.put_u32_le(t.rows() as u32);
+        buf.put_u32_le(t.dim() as u32);
+        let mut flat = Vec::with_capacity(t.rows() * t.dim());
+        for r in 0..t.rows() {
+            flat.extend_from_slice(t.row(r as u32));
+        }
+        put_f32s(buf, &flat);
+    }
+}
+
+/// Restore a checkpoint into live stores (matching by name; every live entry
+/// must be present in the checkpoint with identical shape).
+pub fn load_checkpoint(
+    bytes: &[u8],
+    params: &mut ParamStore,
+    embeddings: &mut EmbeddingStore,
+) -> Result<(), CheckpointError> {
+    let parsed = ParsedCheckpoint::parse(bytes)?;
+    parsed.apply_params(params)?;
+    parsed.apply_embeddings(embeddings)
+}
+
+/// A parsed checkpoint, applicable to stores one at a time.
+pub struct ParsedCheckpoint {
+    dense: HashMap<String, ((usize, usize), Vec<f32>)>,
+    sparse: HashMap<String, (usize, usize, Vec<f32>)>,
+    consumed: usize,
+}
+
+impl ParsedCheckpoint {
+    /// Parse and validate the container format.
+    pub fn parse(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        parse_impl(bytes)
+    }
+
+    /// Bytes consumed by the params+embeddings container — trailing bytes
+    /// (e.g. model-specific batch-norm sections) start here.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Restore dense parameters (by name; shapes must match).
+    pub fn apply_params(&self, params: &mut ParamStore) -> Result<(), CheckpointError> {
+        for id in params.ids().collect::<Vec<_>>() {
+            let name = params.name(id).to_string();
+            let ((rows, cols), data) = self
+                .dense
+                .get(&name)
+                .ok_or_else(|| CheckpointError::Missing(name.clone()))?;
+            if params.value(id).shape() != (*rows, *cols) {
+                return Err(CheckpointError::ShapeMismatch(name));
+            }
+            *params.value_mut(id) = Tensor::from_vec(*rows, *cols, data.clone());
+        }
+        Ok(())
+    }
+
+    /// Restore embedding tables (by name; shapes must match).
+    pub fn apply_embeddings(
+        &self,
+        embeddings: &mut EmbeddingStore,
+    ) -> Result<(), CheckpointError> {
+        let names: Vec<String> = embeddings.tables().map(|t| t.name().to_string()).collect();
+        for name in names {
+            let (rows, dim, data) = self
+                .sparse
+                .get(&name)
+                .ok_or_else(|| CheckpointError::Missing(name.clone()))?;
+            let id = embeddings.id_of(&name).expect("listed table");
+            {
+                let t = embeddings.table(id);
+                if t.rows() != *rows || t.dim() != *dim {
+                    return Err(CheckpointError::ShapeMismatch(name));
+                }
+            }
+            embeddings.overwrite_table(id, data);
+        }
+        Ok(())
+    }
+}
+
+fn parse_impl(bytes: &[u8]) -> Result<ParsedCheckpoint, CheckpointError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    if buf.remaining() < 12 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+
+    if buf.remaining() < 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let n_params = buf.get_u32_le() as usize;
+    let mut dense: HashMap<String, ((usize, usize), Vec<f32>)> = HashMap::new();
+    for _ in 0..n_params {
+        let name = get_str(&mut buf)?;
+        if buf.remaining() < 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        let rows = buf.get_u32_le() as usize;
+        let cols = buf.get_u32_le() as usize;
+        let data = get_f32s(&mut buf)?;
+        if data.len() != rows * cols {
+            return Err(CheckpointError::Truncated);
+        }
+        dense.insert(name, ((rows, cols), data));
+    }
+
+    if buf.remaining() < 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let n_tables = buf.get_u32_le() as usize;
+    let mut sparse: HashMap<String, (usize, usize, Vec<f32>)> = HashMap::new();
+    for _ in 0..n_tables {
+        let name = get_str(&mut buf)?;
+        if buf.remaining() < 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        let rows = buf.get_u32_le() as usize;
+        let dim = buf.get_u32_le() as usize;
+        let data = get_f32s(&mut buf)?;
+        if data.len() != rows * dim {
+            return Err(CheckpointError::Truncated);
+        }
+        sparse.insert(name, (rows, dim, data));
+    }
+    let consumed = bytes.len() - buf.remaining();
+    Ok(ParsedCheckpoint { dense, sparse, consumed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Prng;
+
+    fn setup() -> (ParamStore, EmbeddingStore, Prng) {
+        let mut rng = Prng::seeded(1);
+        let mut p = ParamStore::new();
+        p.add("a.w", rng.randn(3, 4, 1.0));
+        p.add("a.b", rng.randn(1, 4, 1.0));
+        let mut e = EmbeddingStore::new();
+        e.add_table(&mut rng, "item", 10, 4, 0.1);
+        (p, e, rng)
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_values() {
+        let (p, e, mut rng) = setup();
+        let bytes = save_checkpoint(&p, &e);
+
+        // Fresh stores with the same names but different values.
+        let mut p2 = ParamStore::new();
+        p2.add("a.w", rng.randn(3, 4, 9.0));
+        p2.add("a.b", rng.randn(1, 4, 9.0));
+        let mut e2 = EmbeddingStore::new();
+        let t2 = e2.add_table(&mut rng, "item", 10, 4, 0.9);
+
+        load_checkpoint(&bytes, &mut p2, &mut e2).unwrap();
+        let id = p.id_of("a.w").unwrap();
+        let id2 = p2.id_of("a.w").unwrap();
+        assert_eq!(p.value(id).data(), p2.value(id2).data());
+        let t1 = e.id_of("item").unwrap();
+        assert_eq!(e.table(t1).row(3), e2.table(t2).row(3));
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let (mut p, mut e, _) = setup();
+        let err = load_checkpoint(b"NOTACKPTxxxx", &mut p, &mut e).unwrap_err();
+        assert_eq!(err, CheckpointError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let (p, e, _) = setup();
+        let bytes = save_checkpoint(&p, &e);
+        let (mut p2, mut e2, _) = setup();
+        let err = load_checkpoint(&bytes[..bytes.len() - 7], &mut p2, &mut e2).unwrap_err();
+        assert_eq!(err, CheckpointError::Truncated);
+    }
+
+    #[test]
+    fn missing_entry_rejected() {
+        let (p, e, mut rng) = setup();
+        let bytes = save_checkpoint(&p, &e);
+        let mut p2 = ParamStore::new();
+        p2.add("other.w", rng.randn(3, 4, 1.0));
+        let mut e2 = EmbeddingStore::new();
+        e2.add_table(&mut rng, "item", 10, 4, 0.1);
+        let err = load_checkpoint(&bytes, &mut p2, &mut e2).unwrap_err();
+        assert_eq!(err, CheckpointError::Missing("other.w".into()));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let (p, e, mut rng) = setup();
+        let bytes = save_checkpoint(&p, &e);
+        let mut p2 = ParamStore::new();
+        p2.add("a.w", rng.randn(4, 3, 1.0)); // transposed shape
+        p2.add("a.b", rng.randn(1, 4, 1.0));
+        let mut e2 = EmbeddingStore::new();
+        e2.add_table(&mut rng, "item", 10, 4, 0.1);
+        let err = load_checkpoint(&bytes, &mut p2, &mut e2).unwrap_err();
+        assert_eq!(err, CheckpointError::ShapeMismatch("a.w".into()));
+    }
+}

@@ -1,0 +1,59 @@
+//! The paper's five-repetition protocol: train the same configuration under
+//! several seeds and average the metric reports (§III-A4).
+
+use basm_data::{Dataset, WorldConfig};
+use basm_metrics::MetricReport;
+use serde::{Deserialize, Serialize};
+
+use crate::harness::{train_and_evaluate, TrainConfig, TrainOutcome};
+
+/// Averaged outcome of repeated runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepeatedOutcome {
+    /// Model name.
+    pub model: String,
+    /// Per-seed outcomes.
+    pub runs: Vec<TrainOutcome>,
+    /// Metric report averaged over seeds.
+    pub mean: MetricReport,
+}
+
+/// Train `model_name` under each seed and average.
+pub fn run_repeated(
+    model_name: &str,
+    world: &WorldConfig,
+    ds: &Dataset,
+    epochs: usize,
+    batch_size: usize,
+    seeds: &[u64],
+) -> RepeatedOutcome {
+    assert!(!seeds.is_empty(), "run_repeated: need at least one seed");
+    let mut runs = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let mut model = basm_baselines::build_model(model_name, world, seed);
+        let tc = TrainConfig::default_for(ds, epochs, batch_size, seed);
+        runs.push(train_and_evaluate(model.as_mut(), ds, &tc));
+    }
+    let reports: Vec<MetricReport> = runs.iter().map(|r| r.report).collect();
+    RepeatedOutcome {
+        model: model_name.to_string(),
+        mean: MetricReport::average(&reports),
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basm_data::generate_dataset;
+
+    #[test]
+    fn repeats_and_averages() {
+        let cfg = WorldConfig::tiny();
+        let data = generate_dataset(&cfg);
+        let out = run_repeated("Wide&Deep", &cfg, &data.dataset, 1, 128, &[1, 2]);
+        assert_eq!(out.runs.len(), 2);
+        let manual = (out.runs[0].report.auc + out.runs[1].report.auc) / 2.0;
+        assert!((out.mean.auc - manual).abs() < 1e-12);
+    }
+}

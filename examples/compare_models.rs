@@ -1,0 +1,48 @@
+//! Compare every Table IV method on a small dataset — a miniature of the
+//! paper's offline evaluation.
+//!
+//! ```sh
+//! cargo run --example compare_models --release [-- epochs]
+//! ```
+
+use basm::baselines::{build_model, TABLE4_MODELS};
+use basm::data::{generate_dataset, WorldConfig};
+use basm::trainer::{train_and_evaluate, TrainConfig};
+
+fn main() {
+    let epochs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+
+    let mut cfg = WorldConfig::tiny();
+    cfg.sessions_per_day = 500;
+    cfg.train_days = 3;
+    let data = generate_dataset(&cfg);
+    println!(
+        "dataset: {} train / {} test impressions | {epochs} epochs\n",
+        data.dataset.train_indices().len(),
+        data.dataset.test_indices().len()
+    );
+
+    println!(
+        "{:<12} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8} {:>7}",
+        "Method", "AUC", "TAUC", "CAUC", "NDCG3", "NDCG10", "Logloss", "sec"
+    );
+    for name in TABLE4_MODELS {
+        let mut model = build_model(name, &cfg, 1);
+        let tc = TrainConfig::default_for(&data.dataset, epochs, 256, 1);
+        let out = train_and_evaluate(model.as_mut(), &data.dataset, &tc);
+        println!(
+            "{:<12} {:>7.4} {:>7.4} {:>7.4} {:>7.4} {:>7.4} {:>8.4} {:>7.1}",
+            name,
+            out.report.auc,
+            out.report.tauc,
+            out.report.cauc,
+            out.report.ndcg3,
+            out.report.ndcg10,
+            out.report.logloss,
+            out.train_secs
+        );
+    }
+}

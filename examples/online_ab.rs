@@ -1,0 +1,67 @@
+//! Miniature of the paper's online experiment (Table VII): train the Base
+//! model and BASM offline, deploy both behind a simulated TPP/LBS/RTP stack,
+//! bucket users 50/50, run a multi-day A/B against the ground-truth click
+//! model, and report daily CTRs.
+//!
+//! ```sh
+//! cargo run --example online_ab --release
+//! ```
+
+use basm::baselines::build_model;
+use basm::data::{generate_dataset, WorldConfig};
+use basm::serving::{run_ab_test, AbConfig, ServingPipeline};
+use basm::trainer::{train, TrainConfig};
+
+fn main() {
+    let mut cfg = WorldConfig::tiny();
+    cfg.sessions_per_day = 500;
+    cfg.train_days = 3;
+    let data = generate_dataset(&cfg);
+    let ds = &data.dataset;
+
+    println!("offline training both arms ...");
+    let mut base = build_model("Base", &cfg, 1);
+    let mut basm = build_model("BASM", &cfg, 1);
+    let tc = TrainConfig::default_for(ds, 2, 256, 1);
+    train(base.as_mut(), ds, &tc);
+    train(basm.as_mut(), ds, &tc);
+
+    let ab = AbConfig {
+        days: 5,
+        sessions_per_day: 400,
+        recall_pool: 15,
+        top_k: cfg.candidates_per_session,
+        seed: 7,
+    };
+    let mut base_pipe = ServingPipeline::new(&data.world, base, ab.recall_pool, ab.top_k);
+    let mut basm_pipe = ServingPipeline::new(&data.world, basm, ab.recall_pool, ab.top_k);
+    println!("running {}-day A/B ({} sessions/day) ...\n", ab.days, ab.sessions_per_day);
+    let result = run_ab_test(&data.world, &mut base_pipe, &mut basm_pipe, &ab);
+
+    println!("{:<5} {:>10} {:>10} {:>12}", "Day", "Base CTR", "BASM CTR", "Improvement");
+    for d in &result.days {
+        println!(
+            "{:<5} {:>9.2}% {:>9.2}% {:>11.2}%",
+            d.day,
+            d.base.ctr() * 100.0,
+            d.treatment.ctr() * 100.0,
+            d.relative_improvement() * 100.0
+        );
+    }
+    let (b, t, imp) = result.overall();
+    println!(
+        "{:<5} {:>9.2}% {:>9.2}% {:>11.2}%\n",
+        "Avg",
+        b * 100.0,
+        t * 100.0,
+        imp * 100.0
+    );
+
+    println!("per time-period lift:");
+    for (i, label) in result.by_time_period.labels.iter().enumerate() {
+        let b = result.by_time_period.base[i];
+        let t = result.by_time_period.treatment[i];
+        let lift = if b.ctr() > 0.0 { (t.ctr() - b.ctr()) / b.ctr() * 100.0 } else { 0.0 };
+        println!("  {label:>14}: {:>6} exposures, lift {lift:+.2}%", b.exposures + t.exposures);
+    }
+}

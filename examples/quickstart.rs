@@ -1,0 +1,50 @@
+//! Quickstart: generate a small spatiotemporal world, train BASM for a couple
+//! of epochs, and print the paper's metrics (AUC / TAUC / CAUC / NDCG /
+//! Logloss).
+//!
+//! ```sh
+//! cargo run --example quickstart --release
+//! ```
+
+use basm::core::basm::{Basm, BasmConfig};
+use basm::data::{generate_dataset, DatasetStats, WorldConfig};
+use basm::trainer::{train_and_evaluate, TrainConfig};
+
+fn main() {
+    // A laptop-friendly world: scale any of these fields up for real runs.
+    let mut cfg = WorldConfig::tiny();
+    cfg.sessions_per_day = 400;
+    cfg.train_days = 3;
+
+    println!("generating world '{}' ...", cfg.name);
+    let data = generate_dataset(&cfg);
+    let stats = DatasetStats::compute(&data.dataset);
+    println!(
+        "dataset: {} impressions, {} users, {} items, CTR {:.2}%, mean seq len {:.1}",
+        stats.total_size,
+        stats.n_users,
+        stats.n_items,
+        stats.ctr * 100.0,
+        stats.mean_seq_len
+    );
+
+    let mut model = Basm::new(&cfg, BasmConfig::default());
+    let tc = TrainConfig::default_for(&data.dataset, 2, 256, 1);
+    println!("training BASM ({} epochs, batch {}) ...", tc.epochs, tc.batch_size);
+    let out = train_and_evaluate(&mut model, &data.dataset, &tc);
+
+    println!(
+        "\n{:<8} AUC {:.4}  TAUC {:.4}  CAUC {:.4}  NDCG3 {:.4}  NDCG10 {:.4}  Logloss {:.4}",
+        out.model,
+        out.report.auc,
+        out.report.tauc,
+        out.report.cauc,
+        out.report.ndcg3,
+        out.report.ndcg10,
+        out.report.logloss
+    );
+    println!(
+        "trained {} steps in {:.1}s (final train loss {:.4})",
+        out.steps, out.train_secs, out.final_train_loss
+    );
+}

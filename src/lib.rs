@@ -1,0 +1,22 @@
+//! # basm — Bottom-up Adaptive Spatiotemporal Model, reproduced in Rust
+//!
+//! Umbrella crate re-exporting the whole workspace. See the individual crates
+//! for detail:
+//!
+//! * [`basm_tensor`] — autograd engine, layers, optimizers, embeddings.
+//! * [`basm_data`] — synthetic spatiotemporal OFOS datasets.
+//! * [`basm_metrics`] — AUC / TAUC / CAUC / NDCG / LogLoss.
+//! * [`basm_core`] — the BASM model (StAEL, StSTL, StABT).
+//! * [`basm_baselines`] — Wide&Deep, DIN, AutoInt, STAR, M2M, APG, Base.
+//! * [`basm_trainer`] — training & evaluation harness.
+//! * [`basm_analysis`] — t-SNE, PCA, silhouette, heatmaps.
+//! * [`basm_serving`] — online serving + A/B simulator.
+
+pub use basm_analysis as analysis;
+pub use basm_baselines as baselines;
+pub use basm_core as core;
+pub use basm_data as data;
+pub use basm_metrics as metrics;
+pub use basm_serving as serving;
+pub use basm_tensor as tensor;
+pub use basm_trainer as trainer;

@@ -1,0 +1,130 @@
+//! Property-based tests on the core invariants (proptest).
+
+use basm::metrics::{auc, grouped_auc, logloss, ndcg_at_k};
+use basm::tensor::graph::stable_sigmoid;
+use basm::tensor::{Graph, Prng, Tensor};
+use proptest::prelude::*;
+
+fn scores_and_labels() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    (2usize..60).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-5.0f32..5.0, n),
+            prop::collection::vec(prop::bool::ANY.prop_map(f32::from), n),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn auc_is_bounded_and_complement_symmetric((scores, labels) in scores_and_labels()) {
+        if let Some(a) = auc(&scores, &labels) {
+            prop_assert!((0.0..=1.0).contains(&a));
+            // Negating scores flips the ranking.
+            let neg: Vec<f32> = scores.iter().map(|s| -s).collect();
+            let b = auc(&neg, &labels).unwrap();
+            prop_assert!((a + b - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn grouped_auc_bounded((scores, labels) in scores_and_labels(), k in 1u32..5) {
+        let groups: Vec<u32> = (0..scores.len() as u32).map(|i| i % k).collect();
+        if let Some(a) = grouped_auc(&scores, &labels, &groups) {
+            prop_assert!((0.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn ndcg_bounded((scores, labels) in scores_and_labels()) {
+        let sessions: Vec<u32> = (0..scores.len() as u32).map(|i| i / 5).collect();
+        if let Some(n) = ndcg_at_k(&scores, &labels, &sessions, 3) {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&n));
+        }
+    }
+
+    #[test]
+    fn logloss_nonnegative_and_perfect_is_small((_, labels) in scores_and_labels()) {
+        let perfect: Vec<f32> = labels.iter().map(|&l| if l > 0.5 { 0.999 } else { 0.001 }).collect();
+        let ll = logloss(&perfect, &labels);
+        prop_assert!(ll >= 0.0);
+        prop_assert!(ll < 0.01);
+    }
+
+    #[test]
+    fn sigmoid_bounds_and_monotonicity(x in -50.0f32..50.0, d in 0.001f32..5.0) {
+        let a = stable_sigmoid(x);
+        let b = stable_sigmoid(x + d);
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!(b >= a);
+    }
+
+    #[test]
+    fn softmax_rows_is_distribution(rows in 1usize..6, cols in 1usize..8, seed in 0u64..1000) {
+        let mut rng = Prng::seeded(seed);
+        let mut g = Graph::new();
+        let x = g.input(rng.randn(rows, cols, 3.0));
+        let s = g.softmax_rows(x);
+        for r in 0..rows {
+            let row = g.value(s).row(r);
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn bce_loss_nonnegative(rows in 1usize..10, seed in 0u64..1000) {
+        let mut rng = Prng::seeded(seed);
+        let mut g = Graph::new();
+        let z = g.input(rng.randn(rows, 1, 2.0));
+        let labels = Tensor::from_fn(rows, 1, |r, _| f32::from(r % 2 == 0));
+        let y = g.input(labels);
+        let loss = g.bce_with_logits(z, y);
+        prop_assert!(g.value(loss).item() >= 0.0);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(seed in 0u64..500) {
+        let mut rng = Prng::seeded(seed);
+        let a = rng.randn(3, 4, 1.0);
+        let b = rng.randn(4, 2, 1.0);
+        let c = rng.randn(4, 2, 1.0);
+        let mut g = Graph::new();
+        let av = g.input(a);
+        let bv = g.input(b);
+        let cv = g.input(c);
+        let bc = g.add(bv, cv);
+        let left = g.matmul(av, bc);
+        let ab = g.matmul(av, bv);
+        let ac = g.matmul(av, cv);
+        let right = g.add(ab, ac);
+        let l = g.value(left).clone();
+        let r = g.value(right).clone();
+        for (x, y) in l.data().iter().zip(r.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn embedding_padding_always_zero(seed in 0u64..200, dim in 1usize..8) {
+        use basm::tensor::nn::embedding::EmbeddingTable;
+        let mut rng = Prng::seeded(seed);
+        let t = EmbeddingTable::new(&mut rng, "t", 16, dim, 0.1);
+        prop_assert!(t.row(0).iter().all(|&v| v == 0.0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// TAUC equals plain AUC when there is only one group — for any data
+    /// (up to the `(n*a)/n` float rounding of the weighted average).
+    #[test]
+    fn single_group_tauc_equals_auc((scores, labels) in scores_and_labels()) {
+        let groups = vec![0u32; scores.len()];
+        match (grouped_auc(&scores, &labels, &groups), auc(&scores, &labels)) {
+            (Some(g), Some(a)) => prop_assert!((g - a).abs() < 1e-12, "{g} vs {a}"),
+            (g, a) => prop_assert_eq!(g, a),
+        }
+    }
+}
