@@ -1,0 +1,66 @@
+//! Serial vs parallel kernel comparison: the same matmul under a forced
+//! 1-thread pool and under 4 threads. On multi-core hosts the 4-thread rows
+//! should be ~#cores× faster; results are bitwise identical either way (see
+//! `basm_tensor::pool`), so this comparison is purely about wall-clock.
+
+use basm_tensor::{linalg, pool, Prng};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_parallel_matmul(c: &mut Criterion) {
+    let mut rng = Prng::seeded(1);
+    let a = rng.randn(1024, 256, 1.0);
+    let b = rng.randn(256, 256, 1.0);
+    let mut group = c.benchmark_group("matmul_1024x256x256");
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(
+            criterion::BenchmarkId::new("threads", threads),
+            &threads,
+            |bench, &t| {
+                pool::set_threads(t);
+                bench.iter(|| linalg::matmul(black_box(&a), black_box(&b)));
+                pool::set_threads(0);
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallel_backward(c: &mut Criterion) {
+    use basm_tensor::{Graph, Tensor};
+    let mut rng = Prng::seeded(2);
+    let x = rng.randn(512, 128, 1.0);
+    let w = rng.randn(128, 64, 0.5);
+    let y = Tensor::from_fn(512, 1, |r, _| f32::from(r % 5 == 0));
+    let mut group = c.benchmark_group("forward_backward_512x128x64");
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(
+            criterion::BenchmarkId::new("threads", threads),
+            &threads,
+            |bench, &t| {
+                pool::set_threads(t);
+                bench.iter(|| {
+                    let mut g = Graph::new();
+                    let xv = g.input_with_grad(x.clone());
+                    let wv = g.input_with_grad(w.clone());
+                    let yv = g.input(y.clone());
+                    let h = g.matmul(xv, wv);
+                    let act = g.leaky_relu(h, 0.01);
+                    let s = g.sum_rows(act);
+                    let loss = g.bce_with_logits(s, yv);
+                    g.backward(loss);
+                    black_box(g.value(loss).item())
+                });
+                pool::set_threads(0);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parallel_matmul, bench_parallel_backward
+}
+criterion_main!(benches);

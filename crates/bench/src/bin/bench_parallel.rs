@@ -1,0 +1,104 @@
+//! **BENCH_parallel**: wall-clock comparison of the thread-pool execution
+//! layer against the forced-serial path, on the two workloads the pool was
+//! built for — the hot matmul kernel and the 5-seed training repeat.
+//!
+//! Numbers are measured on whatever host runs this binary and recorded as-is
+//! together with the host's core count: on a single-core container the
+//! 4-thread rows cannot beat serial (there is nowhere to run them), so the
+//! speedup column is only meaningful when `host_threads > 1`. Correctness is
+//! independent of all of this — results are bitwise identical at any thread
+//! count (see `basm_tensor::pool` and `crates/tensor/tests/parallel_determinism.rs`).
+
+use basm_bench::BenchEnv;
+use basm_data::{generate_dataset, WorldConfig};
+use basm_tensor::{linalg, pool, Prng};
+use basm_trainer::run_repeated;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Comparison {
+    workload: String,
+    serial_secs: f64,
+    parallel_secs: f64,
+    parallel_threads: usize,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct ParallelBench {
+    host_threads: usize,
+    note: String,
+    comparisons: Vec<Comparison>,
+}
+
+fn time_best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn compare(workload: &str, threads: usize, reps: usize, mut f: impl FnMut()) -> Comparison {
+    pool::set_threads(1);
+    let serial_secs = time_best_of(reps, &mut f);
+    pool::set_threads(threads);
+    let parallel_secs = time_best_of(reps, &mut f);
+    pool::set_threads(0);
+    Comparison {
+        workload: workload.to_string(),
+        serial_secs,
+        parallel_secs,
+        parallel_threads: threads,
+        speedup: serial_secs / parallel_secs,
+    }
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = 4;
+
+    let mut rng = Prng::seeded(1);
+    let a = rng.randn(1024, 256, 1.0);
+    let b = rng.randn(256, 256, 1.0);
+    let matmul = compare("matmul 1024x256x256", threads, 20, || {
+        std::hint::black_box(linalg::matmul(&a, &b));
+    });
+    eprintln!(
+        "[bench_parallel] matmul: serial {:.4}s, {}t {:.4}s ({:.2}x)",
+        matmul.serial_secs, threads, matmul.parallel_secs, matmul.speedup
+    );
+
+    let cfg = WorldConfig::tiny();
+    let data = generate_dataset(&cfg);
+    let repeat = compare("5-seed repeat (Wide&Deep, tiny, 1 epoch)", threads, 1, || {
+        std::hint::black_box(run_repeated(
+            "Wide&Deep",
+            &cfg,
+            &data.dataset,
+            1,
+            128,
+            &[1, 2, 3, 4, 5],
+        ));
+    });
+    eprintln!(
+        "[bench_parallel] repeat: serial {:.2}s, {}t {:.2}s ({:.2}x)",
+        repeat.serial_secs, threads, repeat.parallel_secs, repeat.speedup
+    );
+
+    let note = if host_threads > 1 {
+        format!("measured on a {host_threads}-core host; results bitwise identical at any thread count")
+    } else {
+        format!(
+            "measured on a {host_threads}-core host: 4 logical workers share one core, so \
+             speedup ~1x is expected here; re-run on a multi-core host for real scaling. \
+             Results are bitwise identical at any thread count."
+        )
+    };
+    let report = ParallelBench { host_threads, note, comparisons: vec![matmul, repeat] };
+    env.write_json("BENCH_parallel.json", &report);
+}

@@ -8,6 +8,7 @@
 
 use crate::config::WorldConfig;
 use crate::schema::{DENSE_FEATURES, TimePeriod};
+use basm_tensor::pool;
 use basm_tensor::{Prng, Tensor};
 
 /// Columnar dataset of impressions.
@@ -138,10 +139,38 @@ impl Dataset {
     }
 
     /// Assemble a model-facing batch from example indices.
+    ///
+    /// Large batches are encoded in parallel: the index list is split into
+    /// contiguous chunks, each chunk fills its own partial [`Batch`], and the
+    /// parts are concatenated in chunk order — byte-for-byte the same result
+    /// as the serial path for any thread count.
     pub fn batch(&self, indices: &[usize]) -> Batch {
         let b = indices.len();
         let t = self.seq_len();
+        // Per example we copy ~7 sequence columns plus dense + scalar ids.
+        let work = b * (7 * t + DENSE_FEATURES + 16);
+        let threads = pool::threads_for(b, work);
+        if threads <= 1 {
+            let mut batch = Batch::with_capacity(b, t);
+            self.fill_batch(&mut batch, indices);
+            return batch.seal();
+        }
+        let chunks: Vec<&[usize]> = indices.chunks(b.div_ceil(threads)).collect();
+        let parts = pool::par_map(&chunks, |chunk| {
+            let mut part = Batch::with_capacity(chunk.len(), t);
+            self.fill_batch(&mut part, chunk);
+            part
+        });
         let mut batch = Batch::with_capacity(b, t);
+        for part in parts {
+            batch.append_columns(part);
+        }
+        batch.seal()
+    }
+
+    /// Append the examples at `indices` onto `batch`'s raw columns.
+    fn fill_batch(&self, batch: &mut Batch, indices: &[usize]) {
+        let t = self.seq_len();
         for &i in indices {
             batch.labels_vec.push(self.label[i]);
             batch.user_ids.push(self.user[i] + 1);
@@ -178,7 +207,6 @@ impl Dataset {
             batch.city_raw.push(self.city[i]);
             batch.session.push(self.session[i]);
         }
-        batch.seal()
     }
 
     /// Iterate training batches in a fresh shuffled order.
@@ -275,6 +303,35 @@ impl Batch {
         }
     }
 
+    /// Append the raw (unsealed) columns of `part` onto `self`, preserving
+    /// order. Used to merge chunk-parallel partial batches.
+    fn append_columns(&mut self, mut part: Batch) {
+        self.user_ids.append(&mut part.user_ids);
+        self.item_ids.append(&mut part.item_ids);
+        self.cat_ids.append(&mut part.cat_ids);
+        self.brand_ids.append(&mut part.brand_ids);
+        self.city_ids.append(&mut part.city_ids);
+        self.hour_ids.append(&mut part.hour_ids);
+        self.tp_ids.append(&mut part.tp_ids);
+        self.geo_ids.append(&mut part.geo_ids);
+        self.pos_ids.append(&mut part.pos_ids);
+        self.combine_ids.append(&mut part.combine_ids);
+        self.seq_item.append(&mut part.seq_item);
+        self.seq_cat.append(&mut part.seq_cat);
+        self.seq_brand.append(&mut part.seq_brand);
+        self.seq_tp.append(&mut part.seq_tp);
+        self.seq_hour.append(&mut part.seq_hour);
+        self.seq_city.append(&mut part.seq_city);
+        self.seq_geo.append(&mut part.seq_geo);
+        self.tp_raw.append(&mut part.tp_raw);
+        self.city_raw.append(&mut part.city_raw);
+        self.session.append(&mut part.session);
+        self.labels_vec.append(&mut part.labels_vec);
+        self.dense_vec.append(&mut part.dense_vec);
+        self.mask_vec.append(&mut part.mask_vec);
+        self.st_mask_vec.append(&mut part.st_mask_vec);
+    }
+
     fn seal(mut self) -> Self {
         let b = self.size;
         let t = self.seq_len;
@@ -337,6 +394,27 @@ mod tests {
         assert!(!train.is_empty() && !test.is_empty());
         assert!(train.iter().all(|&i| (ds.day[i] as usize) < cfg.train_days));
         assert!(test.iter().all(|&i| (ds.day[i] as usize) >= cfg.train_days));
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial() {
+        let ds = generate_dataset(&WorldConfig::tiny()).dataset;
+        let idx: Vec<usize> = (0..ds.len().min(97)).collect();
+        let serial = ds.batch(&idx);
+        pool::set_threads(4);
+        pool::set_min_work(0);
+        let parallel = ds.batch(&idx);
+        pool::set_threads(0);
+        pool::set_min_work(usize::MAX);
+        assert_eq!(serial.labels.data(), parallel.labels.data());
+        assert_eq!(serial.dense.data(), parallel.dense.data());
+        assert_eq!(serial.mask.data(), parallel.mask.data());
+        assert_eq!(serial.st_mask.data(), parallel.st_mask.data());
+        assert_eq!(serial.user_ids, parallel.user_ids);
+        assert_eq!(serial.item_ids, parallel.item_ids);
+        assert_eq!(serial.seq_item, parallel.seq_item);
+        assert_eq!(serial.seq_geo, parallel.seq_geo);
+        assert_eq!(serial.session, parallel.session);
     }
 
     #[test]

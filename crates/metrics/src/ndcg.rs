@@ -1,6 +1,6 @@
 //! Session-grouped NDCG@k (the paper reports NDCG3 and NDCG10).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Mean NDCG@k over sessions, using binary relevance from `labels`.
 ///
@@ -12,7 +12,9 @@ pub fn ndcg_at_k(scores: &[f32], labels: &[f32], sessions: &[u32], k: usize) -> 
     assert_eq!(scores.len(), sessions.len());
     assert!(k > 0, "ndcg_at_k: k must be positive");
 
-    let mut by_session: HashMap<u32, Vec<(f32, f32)>> = HashMap::new();
+    // BTreeMap so the f64 mean below folds sessions in a fixed order —
+    // HashMap's randomized iteration made the last ULP vary run to run.
+    let mut by_session: BTreeMap<u32, Vec<(f32, f32)>> = BTreeMap::new();
     for i in 0..scores.len() {
         by_session.entry(sessions[i]).or_default().push((scores[i], labels[i]));
     }

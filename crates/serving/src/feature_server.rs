@@ -2,12 +2,12 @@
 //! statistics counters (Fig. 13: "TPP obtains user-side features ... by
 //! calling Alibaba Basic Feature Server").
 //!
-//! Wrapped in a [`parking_lot::RwLock`] because a production feature server
+//! Wrapped in a [`std::sync::RwLock`] because a production feature server
 //! is hit concurrently by scoring and by the click-event ingestion path.
 
 use basm_data::{BehaviorEvent, StatCounters};
-use parking_lot::RwLock;
 use std::collections::VecDeque;
+use std::sync::RwLock;
 
 struct State {
     history: Vec<VecDeque<BehaviorEvent>>,
@@ -35,7 +35,7 @@ impl FeatureServer {
 
     /// Seed a user's history (e.g. from the offline log's warm state).
     pub fn seed_history(&self, uid: usize, events: impl IntoIterator<Item = BehaviorEvent>) {
-        let mut s = self.state.write();
+        let mut s = self.state.write().expect("feature server lock poisoned");
         let h = &mut s.history[uid];
         for ev in events {
             h.push_back(ev);
@@ -47,22 +47,22 @@ impl FeatureServer {
 
     /// Snapshot a user's behavior sequence (most recent last, as stored).
     pub fn history_snapshot(&self, uid: usize) -> VecDeque<BehaviorEvent> {
-        self.state.read().history[uid].clone()
+        self.state.read().expect("feature server lock poisoned").history[uid].clone()
     }
 
     /// Run `f` with read access to the counters.
     pub fn with_counters<R>(&self, f: impl FnOnce(&StatCounters) -> R) -> R {
-        f(&self.state.read().counters)
+        f(&self.state.read().expect("feature server lock poisoned").counters)
     }
 
     /// Ingest an exposure event.
     pub fn record_exposure(&self, iid: u32) {
-        self.state.write().counters.item_exposures[iid as usize] += 1;
+        self.state.write().expect("feature server lock poisoned").counters.item_exposures[iid as usize] += 1;
     }
 
     /// Ingest a click event: updates counters and the behavior sequence.
     pub fn record_click(&self, uid: usize, event: BehaviorEvent, ordered: bool) {
-        let mut s = self.state.write();
+        let mut s = self.state.write().expect("feature server lock poisoned");
         s.counters.user_clicks[uid] += 1;
         s.counters.item_clicks[event.item as usize] += 1;
         if ordered {

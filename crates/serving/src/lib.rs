@@ -22,4 +22,4 @@ pub use feature_server::FeatureServer;
 pub use pipeline::{Exposure, Request, ServingPipeline};
 pub use recall::LbsRecall;
 pub use replay::{position_ctr_profile, replay_top1, ReplayReport};
-pub use scorer::score_candidates;
+pub use scorer::{score_candidates, score_sessions, SessionRequest};

@@ -4,6 +4,7 @@
 
 use basm_core::model::{predict, CtrModel};
 use basm_data::{append_example, BehaviorEvent, Context, Dataset, StatCounters, World};
+use basm_tensor::pool;
 use std::collections::VecDeque;
 
 /// Score `candidates` for one request. `position` is unknown at scoring time,
@@ -32,6 +33,59 @@ pub fn score_candidates(
     predict(model, &batch)
 }
 
+/// One scoring request: a user, their candidate items and request context.
+#[derive(Debug, Clone)]
+pub struct SessionRequest {
+    /// Requesting user index.
+    pub uid: usize,
+    /// Candidate item ids.
+    pub candidates: Vec<u32>,
+    /// Request context (position is overridden to 0 at scoring time).
+    pub ctx: Context,
+    /// The user's behavior history at request time.
+    pub history: VecDeque<BehaviorEvent>,
+}
+
+/// Score many independent sessions, fanning request blocks out across the
+/// thread pool. [`CtrModel::forward`] takes `&mut self`, so each worker
+/// builds its own model instance via `make_model`; with a deterministic
+/// factory (same weights per call) the scores are identical to looping
+/// [`score_candidates`] serially, in request order, for any thread count.
+pub fn score_sessions<F>(
+    make_model: F,
+    world: &World,
+    requests: &[SessionRequest],
+    counters: &StatCounters,
+) -> Vec<Vec<f32>>
+where
+    F: Fn() -> Box<dyn CtrModel> + Sync,
+{
+    let n = requests.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = if pool::in_pool() { 1 } else { pool::num_threads().min(n) };
+    let chunks: Vec<&[SessionRequest]> = requests.chunks(n.div_ceil(threads)).collect();
+    let parts = pool::par_map(&chunks, |chunk| {
+        let mut model = make_model();
+        chunk
+            .iter()
+            .map(|req| {
+                score_candidates(
+                    model.as_mut(),
+                    world,
+                    req.uid,
+                    &req.candidates,
+                    req.ctx,
+                    &req.history,
+                    counters,
+                )
+            })
+            .collect::<Vec<Vec<f32>>>()
+    });
+    parts.into_iter().flatten().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,6 +112,48 @@ mod tests {
             score_candidates(model.as_mut(), &world, 0, &cands, ctx, &history, &counters);
         assert_eq!(scores.len(), 3);
         assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn parallel_sessions_match_serial_loop() {
+        let cfg = WorldConfig::tiny();
+        let world = World::generate(cfg.clone());
+        let counters = StatCounters::new(cfg.n_users, cfg.n_items);
+        let requests: Vec<SessionRequest> = (0..7)
+            .map(|u| SessionRequest {
+                uid: u,
+                candidates: vec![1 + u as u32, 2 + u as u32, 5],
+                ctx: Context {
+                    day: 0,
+                    hour: 19,
+                    tp: TimePeriod::Dinner,
+                    city: world.users[u].city,
+                    geo: world.users[u].geo,
+                    position: 0,
+                },
+                history: VecDeque::new(),
+            })
+            .collect();
+        let make_model = || build_model("DIN", &cfg, 1);
+        let mut serial_model = make_model();
+        let serial: Vec<Vec<f32>> = requests
+            .iter()
+            .map(|r| {
+                score_candidates(
+                    serial_model.as_mut(),
+                    &world,
+                    r.uid,
+                    &r.candidates,
+                    r.ctx,
+                    &r.history,
+                    &counters,
+                )
+            })
+            .collect();
+        basm_tensor::pool::set_threads(4);
+        let parallel = score_sessions(make_model, &world, &requests, &counters);
+        basm_tensor::pool::set_threads(0);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use crate::graph::{stable_sigmoid, Graph, Op, Saved, Var};
 use crate::linalg;
+use crate::pool;
 use crate::tensor::Tensor;
 
 impl Graph {
@@ -83,26 +84,26 @@ impl Graph {
                     out.push((a, gout.clone()));
                 }
                 if self.needs(b) {
-                    out.push((b, gout.map(|g| -g)));
+                    out.push((b, gout.par_map(|g| -g)));
                 }
             }
             Op::Mul { a, b } => {
                 if self.needs(a) {
-                    out.push((a, gout.zip_map(self.val(b), |g, bv| g * bv)));
+                    out.push((a, gout.par_zip_map(self.val(b), |g, bv| g * bv)));
                 }
                 if self.needs(b) {
-                    out.push((b, gout.zip_map(self.val(a), |g, av| g * av)));
+                    out.push((b, gout.par_zip_map(self.val(a), |g, av| g * av)));
                 }
             }
             Op::Div { a, b } => {
                 let bv = self.val(b);
                 if self.needs(a) {
-                    out.push((a, gout.zip_map(bv, |g, d| g / d)));
+                    out.push((a, gout.par_zip_map(bv, |g, d| g / d)));
                 }
                 if self.needs(b) {
                     // d(a/b)/db = -a/b^2 = -y/b
-                    let gy = gout.zip_map(y, |g, yv| g * yv);
-                    out.push((b, gy.zip_map(bv, |gy, d| -gy / d)));
+                    let gy = gout.par_zip_map(y, |g, yv| g * yv);
+                    out.push((b, gy.par_zip_map(bv, |gy, d| -gy / d)));
                 }
             }
             Op::AddRow { a, b } => {
@@ -118,17 +119,21 @@ impl Graph {
                 if self.needs(a) {
                     let bv = self.val(b);
                     let mut g = Tensor::zeros(m, n);
-                    for r in 0..m {
-                        let grow = gout.row(r);
-                        let orow = g.row_mut(r);
+                    let threads = pool::threads_for(m, m * n);
+                    pool::par_row_blocks(g.data_mut(), n, threads, |i0, block| {
                         let brow = bv.row(0);
-                        for j in 0..n {
-                            orow[j] = grow[j] * brow[j];
+                        for (ri, orow) in block.chunks_mut(n).enumerate() {
+                            let grow = gout.row(i0 + ri);
+                            for j in 0..n {
+                                orow[j] = grow[j] * brow[j];
+                            }
                         }
-                    }
+                    });
                     out.push((a, g));
                 }
                 if self.needs(b) {
+                    // Cross-row reduction into [1,n]: stays serial so the
+                    // accumulation order is fixed.
                     let av = self.val(a);
                     let mut g = Tensor::zeros(1, n);
                     for r in 0..m {
@@ -156,25 +161,33 @@ impl Graph {
                 if self.needs(a) {
                     let bv = self.val(b);
                     let mut g = Tensor::zeros(m, n);
-                    for r in 0..m {
-                        let scale = bv.get(r, 0);
-                        let grow = gout.row(r);
-                        let orow = g.row_mut(r);
-                        for j in 0..n {
-                            orow[j] = grow[j] * scale;
+                    let threads = pool::threads_for(m, m * n);
+                    pool::par_row_blocks(g.data_mut(), n, threads, |i0, block| {
+                        for (ri, orow) in block.chunks_mut(n).enumerate() {
+                            let scale = bv.get(i0 + ri, 0);
+                            let grow = gout.row(i0 + ri);
+                            for j in 0..n {
+                                orow[j] = grow[j] * scale;
+                            }
                         }
-                    }
+                    });
                     out.push((a, g));
                 }
                 if self.needs(b) {
                     let av = self.val(a);
-                    let g = Tensor::from_fn(m, 1, |r, _| linalg::dot(gout.row(r), av.row(r)));
+                    let mut g = Tensor::zeros(m, 1);
+                    let threads = pool::threads_for(m, m * n);
+                    pool::par_row_blocks(g.data_mut(), 1, threads, |i0, block| {
+                        for (ri, o) in block.iter_mut().enumerate() {
+                            *o = linalg::dot(gout.row(i0 + ri), av.row(i0 + ri));
+                        }
+                    });
                     out.push((b, g));
                 }
             }
             Op::Scale { a, c } => {
                 if self.needs(a) {
-                    out.push((a, gout.map(|g| g * c)));
+                    out.push((a, gout.par_map(|g| g * c)));
                 }
             }
             Op::AddScalar { a, .. } => {
@@ -184,45 +197,45 @@ impl Graph {
             }
             Op::Sigmoid { a } => {
                 if self.needs(a) {
-                    out.push((a, gout.zip_map(y, |g, yv| g * yv * (1.0 - yv))));
+                    out.push((a, gout.par_zip_map(y, |g, yv| g * yv * (1.0 - yv))));
                 }
             }
             Op::Tanh { a } => {
                 if self.needs(a) {
-                    out.push((a, gout.zip_map(y, |g, yv| g * (1.0 - yv * yv))));
+                    out.push((a, gout.par_zip_map(y, |g, yv| g * (1.0 - yv * yv))));
                 }
             }
             Op::Relu { a } => {
                 if self.needs(a) {
-                    out.push((a, gout.zip_map(y, |g, yv| if yv > 0.0 { g } else { 0.0 })));
+                    out.push((a, gout.par_zip_map(y, |g, yv| if yv > 0.0 { g } else { 0.0 })));
                 }
             }
             Op::LeakyRelu { a, slope } => {
                 if self.needs(a) {
                     out.push((
                         a,
-                        gout.zip_map(y, |g, yv| if yv > 0.0 { g } else { g * slope }),
+                        gout.par_zip_map(y, |g, yv| if yv > 0.0 { g } else { g * slope }),
                     ));
                 }
             }
             Op::Exp { a } => {
                 if self.needs(a) {
-                    out.push((a, gout.zip_map(y, |g, yv| g * yv)));
+                    out.push((a, gout.par_zip_map(y, |g, yv| g * yv)));
                 }
             }
             Op::Ln { a } => {
                 if self.needs(a) {
-                    out.push((a, gout.zip_map(self.val(a), |g, xv| g / xv)));
+                    out.push((a, gout.par_zip_map(self.val(a), |g, xv| g / xv)));
                 }
             }
             Op::Sqrt { a } => {
                 if self.needs(a) {
-                    out.push((a, gout.zip_map(y, |g, yv| g / (2.0 * yv))));
+                    out.push((a, gout.par_zip_map(y, |g, yv| g / (2.0 * yv))));
                 }
             }
             Op::Square { a } => {
                 if self.needs(a) {
-                    out.push((a, gout.zip_map(self.val(a), |g, xv| 2.0 * g * xv)));
+                    out.push((a, gout.par_zip_map(self.val(a), |g, xv| 2.0 * g * xv)));
                 }
             }
             Op::SoftmaxRows { a } | Op::MaskedSoftmaxRows { a, .. } => {
@@ -230,15 +243,17 @@ impl Graph {
                 if self.needs(a) {
                     let (m, n) = y.shape();
                     let mut g = Tensor::zeros(m, n);
-                    for r in 0..m {
-                        let yrow = y.row(r);
-                        let grow = gout.row(r);
-                        let inner = linalg::dot(grow, yrow);
-                        let orow = g.row_mut(r);
-                        for j in 0..n {
-                            orow[j] = yrow[j] * (grow[j] - inner);
+                    let threads = pool::threads_for(m, m * n);
+                    pool::par_row_blocks(g.data_mut(), n, threads, |i0, block| {
+                        for (ri, orow) in block.chunks_mut(n).enumerate() {
+                            let yrow = y.row(i0 + ri);
+                            let grow = gout.row(i0 + ri);
+                            let inner = linalg::dot(grow, yrow);
+                            for j in 0..n {
+                                orow[j] = yrow[j] * (grow[j] - inner);
+                            }
                         }
-                    }
+                    });
                     out.push((a, g));
                 }
             }
@@ -330,15 +345,18 @@ impl Graph {
                 if self.needs(a) {
                     let (m, n) = self.val(a).shape();
                     let mut g = Tensor::zeros(m, n);
-                    for r in 0..m {
-                        let orow = g.row_mut(r);
-                        for k in 0..times {
-                            let grow = gout.row(r * times + k);
-                            for j in 0..n {
-                                orow[j] += grow[j];
+                    let threads = pool::threads_for(m, m * times * n);
+                    pool::par_row_blocks(g.data_mut(), n, threads, |i0, block| {
+                        for (ri, orow) in block.chunks_mut(n).enumerate() {
+                            let r = i0 + ri;
+                            for k in 0..times {
+                                let grow = gout.row(r * times + k);
+                                for j in 0..n {
+                                    orow[j] += grow[j];
+                                }
                             }
                         }
-                    }
+                    });
                     out.push((a, g));
                 }
             }
@@ -347,33 +365,37 @@ impl Graph {
                 if self.needs(seq) {
                     let wv = self.val(w);
                     let mut g = Tensor::zeros(m, t * d);
-                    for r in 0..m {
-                        let grow = gout.row(r);
-                        let wrow = wv.row(r);
-                        let orow = g.row_mut(r);
-                        for (ti, &wt) in wrow.iter().enumerate() {
-                            if wt == 0.0 {
-                                continue;
-                            }
-                            let block = &mut orow[ti * d..(ti + 1) * d];
-                            for (o, &gv) in block.iter_mut().zip(grow.iter()) {
-                                *o += wt * gv;
+                    let threads = pool::threads_for(m, m * t * d);
+                    pool::par_row_blocks(g.data_mut(), t * d, threads, |i0, block| {
+                        for (ri, orow) in block.chunks_mut(t * d).enumerate() {
+                            let grow = gout.row(i0 + ri);
+                            let wrow = wv.row(i0 + ri);
+                            for (ti, &wt) in wrow.iter().enumerate() {
+                                if wt == 0.0 {
+                                    continue;
+                                }
+                                let oblk = &mut orow[ti * d..(ti + 1) * d];
+                                for (o, &gv) in oblk.iter_mut().zip(grow.iter()) {
+                                    *o += wt * gv;
+                                }
                             }
                         }
-                    }
+                    });
                     out.push((seq, g));
                 }
                 if self.needs(w) {
                     let sv = self.val(seq);
                     let mut g = Tensor::zeros(m, t);
-                    for r in 0..m {
-                        let grow = gout.row(r);
-                        let srow = sv.row(r);
-                        let orow = g.row_mut(r);
-                        for (ti, o) in orow.iter_mut().enumerate() {
-                            *o = linalg::dot(&srow[ti * d..(ti + 1) * d], grow);
+                    let threads = pool::threads_for(m, m * t * d);
+                    pool::par_row_blocks(g.data_mut(), t, threads, |i0, block| {
+                        for (ri, orow) in block.chunks_mut(t).enumerate() {
+                            let grow = gout.row(i0 + ri);
+                            let srow = sv.row(i0 + ri);
+                            for (ti, o) in orow.iter_mut().enumerate() {
+                                *o = linalg::dot(&srow[ti * d..(ti + 1) * d], grow);
+                            }
                         }
-                    }
+                    });
                     out.push((w, g));
                 }
             }
@@ -382,39 +404,43 @@ impl Graph {
                 if self.needs(w) {
                     let xv = self.val(x);
                     let mut g = Tensor::zeros(m, out_dim * in_dim);
-                    for r in 0..m {
-                        let grow = gout.row(r);
-                        let xrow = xv.row(r);
-                        let orow = g.row_mut(r);
-                        for (o, &gv) in grow.iter().enumerate() {
-                            if gv == 0.0 {
-                                continue;
-                            }
-                            let block = &mut orow[o * in_dim..(o + 1) * in_dim];
-                            for (bj, &xj) in block.iter_mut().zip(xrow.iter()) {
-                                *bj += gv * xj;
+                    let threads = pool::threads_for(m, m * out_dim * in_dim);
+                    pool::par_row_blocks(g.data_mut(), out_dim * in_dim, threads, |i0, block| {
+                        for (ri, orow) in block.chunks_mut(out_dim * in_dim).enumerate() {
+                            let grow = gout.row(i0 + ri);
+                            let xrow = xv.row(i0 + ri);
+                            for (o, &gv) in grow.iter().enumerate() {
+                                if gv == 0.0 {
+                                    continue;
+                                }
+                                let oblk = &mut orow[o * in_dim..(o + 1) * in_dim];
+                                for (bj, &xj) in oblk.iter_mut().zip(xrow.iter()) {
+                                    *bj += gv * xj;
+                                }
                             }
                         }
-                    }
+                    });
                     out.push((w, g));
                 }
                 if self.needs(x) {
                     let wv = self.val(w);
                     let mut g = Tensor::zeros(m, in_dim);
-                    for r in 0..m {
-                        let grow = gout.row(r);
-                        let wrow = wv.row(r);
-                        let orow = g.row_mut(r);
-                        for (o, &gv) in grow.iter().enumerate() {
-                            if gv == 0.0 {
-                                continue;
-                            }
-                            let wblock = &wrow[o * in_dim..(o + 1) * in_dim];
-                            for (oj, &wj) in orow.iter_mut().zip(wblock.iter()) {
-                                *oj += gv * wj;
+                    let threads = pool::threads_for(m, m * out_dim * in_dim);
+                    pool::par_row_blocks(g.data_mut(), in_dim, threads, |i0, block| {
+                        for (ri, orow) in block.chunks_mut(in_dim).enumerate() {
+                            let grow = gout.row(i0 + ri);
+                            let wrow = wv.row(i0 + ri);
+                            for (o, &gv) in grow.iter().enumerate() {
+                                if gv == 0.0 {
+                                    continue;
+                                }
+                                let wblock = &wrow[o * in_dim..(o + 1) * in_dim];
+                                for (oj, &wj) in orow.iter_mut().zip(wblock.iter()) {
+                                    *oj += gv * wj;
+                                }
                             }
                         }
-                    }
+                    });
                     out.push((x, g));
                 }
             }
@@ -423,33 +449,37 @@ impl Graph {
                 if self.needs(w) {
                     let xv = self.val(x);
                     let mut g = Tensor::zeros(m, out_dim * in_dim);
-                    for r in 0..m {
-                        let grow = gout.row(r);
-                        let xrow = xv.row(r);
-                        let orow = g.row_mut(r);
-                        for (i, &xi) in xrow.iter().enumerate() {
-                            if xi == 0.0 {
-                                continue;
-                            }
-                            let block = &mut orow[i * out_dim..(i + 1) * out_dim];
-                            for (bo, &gv) in block.iter_mut().zip(grow.iter()) {
-                                *bo += xi * gv;
+                    let threads = pool::threads_for(m, m * out_dim * in_dim);
+                    pool::par_row_blocks(g.data_mut(), out_dim * in_dim, threads, |i0, block| {
+                        for (ri, orow) in block.chunks_mut(out_dim * in_dim).enumerate() {
+                            let grow = gout.row(i0 + ri);
+                            let xrow = xv.row(i0 + ri);
+                            for (i, &xi) in xrow.iter().enumerate() {
+                                if xi == 0.0 {
+                                    continue;
+                                }
+                                let oblk = &mut orow[i * out_dim..(i + 1) * out_dim];
+                                for (bo, &gv) in oblk.iter_mut().zip(grow.iter()) {
+                                    *bo += xi * gv;
+                                }
                             }
                         }
-                    }
+                    });
                     out.push((w, g));
                 }
                 if self.needs(x) {
                     let wv = self.val(w);
                     let mut g = Tensor::zeros(m, in_dim);
-                    for r in 0..m {
-                        let grow = gout.row(r);
-                        let wrow = wv.row(r);
-                        let orow = g.row_mut(r);
-                        for (i, oi) in orow.iter_mut().enumerate() {
-                            *oi = linalg::dot(&wrow[i * out_dim..(i + 1) * out_dim], grow);
+                    let threads = pool::threads_for(m, m * out_dim * in_dim);
+                    pool::par_row_blocks(g.data_mut(), in_dim, threads, |i0, block| {
+                        for (ri, orow) in block.chunks_mut(in_dim).enumerate() {
+                            let grow = gout.row(i0 + ri);
+                            let wrow = wv.row(i0 + ri);
+                            for (i, oi) in orow.iter_mut().enumerate() {
+                                *oi = linalg::dot(&wrow[i * out_dim..(i + 1) * out_dim], grow);
+                            }
                         }
-                    }
+                    });
                     out.push((x, g));
                 }
             }
@@ -475,16 +505,21 @@ impl Graph {
                         mean_g[j] /= mf;
                         mean_gy[j] /= mf;
                     }
+                    // The column-mean reductions above stay serial (fixed
+                    // accumulation order); the per-row combine is independent
+                    // across rows and may fan out.
                     let mut g = Tensor::zeros(m, n);
-                    for r in 0..m {
-                        let grow = gout.row(r);
-                        let yrow = y.row(r);
-                        let orow = g.row_mut(r);
-                        for j in 0..n {
-                            let s = 1.0 / (var[j] + eps).sqrt();
-                            orow[j] = s * (grow[j] - mean_g[j] - yrow[j] * mean_gy[j]);
+                    let threads = pool::threads_for(m, m * n);
+                    pool::par_row_blocks(g.data_mut(), n, threads, |i0, block| {
+                        for (ri, orow) in block.chunks_mut(n).enumerate() {
+                            let grow = gout.row(i0 + ri);
+                            let yrow = y.row(i0 + ri);
+                            for j in 0..n {
+                                let s = 1.0 / (var[j] + eps).sqrt();
+                                orow[j] = s * (grow[j] - mean_g[j] - yrow[j] * mean_gy[j]);
+                            }
                         }
-                    }
+                    });
                     out.push((x, g));
                 }
             }
@@ -493,13 +528,15 @@ impl Graph {
                     let vv = self.val(var);
                     let (m, n) = gout.shape();
                     let mut g = Tensor::zeros(m, n);
-                    for r in 0..m {
-                        let grow = gout.row(r);
-                        let orow = g.row_mut(r);
-                        for j in 0..n {
-                            orow[j] = grow[j] / (vv.get(0, j) + eps).sqrt();
+                    let threads = pool::threads_for(m, m * n);
+                    pool::par_row_blocks(g.data_mut(), n, threads, |i0, block| {
+                        for (ri, orow) in block.chunks_mut(n).enumerate() {
+                            let grow = gout.row(i0 + ri);
+                            for j in 0..n {
+                                orow[j] = grow[j] / (vv.get(0, j) + eps).sqrt();
+                            }
                         }
-                    }
+                    });
                     out.push((x, g));
                 }
             }
@@ -508,7 +545,7 @@ impl Graph {
                     let zv = self.val(logits);
                     let yv = self.val(labels);
                     let inv = gout.item() / zv.len().max(1) as f32;
-                    let g = zv.zip_map(yv, |z, lab| inv * (stable_sigmoid(z) - lab));
+                    let g = zv.par_zip_map(yv, |z, lab| inv * (stable_sigmoid(z) - lab));
                     out.push((logits, g));
                 }
             }

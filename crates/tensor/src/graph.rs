@@ -8,8 +8,16 @@
 //!
 //! Node ids are topologically ordered by construction, so the backward pass is
 //! a single reverse sweep over ids (see [`crate::backward`]).
+//!
+//! Ops whose output elements are independent (elementwise maps, row-broadcast
+//! ops, per-row softmax and the fused sequence/meta-linear ops) fan out over
+//! [`crate::pool`] row blocks when shapes warrant; cross-row reductions
+//! (`sum_cols`, the BN batch statistics, the BCE total) stay serial so their
+//! accumulation order — and therefore every result bit — is independent of
+//! the thread count.
 
 use crate::linalg;
+use crate::pool;
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
 use std::collections::HashMap;
@@ -226,28 +234,28 @@ impl Graph {
 
     /// Elementwise sum; shapes must match.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip_map(self.value(b), |x, y| x + y);
+        let v = self.value(a).par_zip_map(self.value(b), |x, y| x + y);
         let rg = self.rg(a.0) || self.rg(b.0);
         self.push(Op::Add { a: a.0, b: b.0 }, v, rg)
     }
 
     /// Elementwise difference; shapes must match.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip_map(self.value(b), |x, y| x - y);
+        let v = self.value(a).par_zip_map(self.value(b), |x, y| x - y);
         let rg = self.rg(a.0) || self.rg(b.0);
         self.push(Op::Sub { a: a.0, b: b.0 }, v, rg)
     }
 
     /// Elementwise (Hadamard) product; shapes must match.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip_map(self.value(b), |x, y| x * y);
+        let v = self.value(a).par_zip_map(self.value(b), |x, y| x * y);
         let rg = self.rg(a.0) || self.rg(b.0);
         self.push(Op::Mul { a: a.0, b: b.0 }, v, rg)
     }
 
     /// Elementwise quotient; shapes must match and `b` must be nonzero.
     pub fn div(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip_map(self.value(b), |x, y| x / y);
+        let v = self.value(a).par_zip_map(self.value(b), |x, y| x / y);
         let rg = self.rg(a.0) || self.rg(b.0);
         self.push(Op::Div { a: a.0, b: b.0 }, v, rg)
     }
@@ -259,13 +267,15 @@ impl Graph {
         let bd = self.value(b).data().to_vec();
         let av = self.value(a);
         let mut out = Tensor::zeros(m, n);
-        for r in 0..m {
-            let arow = av.row(r);
-            let orow = out.row_mut(r);
-            for j in 0..n {
-                orow[j] = arow[j] + bd[j];
+        let threads = pool::threads_for(m, m * n);
+        pool::par_row_blocks(out.data_mut(), n, threads, |i0, block| {
+            for (ri, orow) in block.chunks_mut(n).enumerate() {
+                let arow = av.row(i0 + ri);
+                for j in 0..n {
+                    orow[j] = arow[j] + bd[j];
+                }
             }
-        }
+        });
         let rg = self.rg(a.0) || self.rg(b.0);
         self.push(Op::AddRow { a: a.0, b: b.0 }, out, rg)
     }
@@ -277,13 +287,15 @@ impl Graph {
         let bd = self.value(b).data().to_vec();
         let av = self.value(a);
         let mut out = Tensor::zeros(m, n);
-        for r in 0..m {
-            let arow = av.row(r);
-            let orow = out.row_mut(r);
-            for j in 0..n {
-                orow[j] = arow[j] * bd[j];
+        let threads = pool::threads_for(m, m * n);
+        pool::par_row_blocks(out.data_mut(), n, threads, |i0, block| {
+            for (ri, orow) in block.chunks_mut(n).enumerate() {
+                let arow = av.row(i0 + ri);
+                for j in 0..n {
+                    orow[j] = arow[j] * bd[j];
+                }
             }
-        }
+        });
         let rg = self.rg(a.0) || self.rg(b.0);
         self.push(Op::MulRow { a: a.0, b: b.0 }, out, rg)
     }
@@ -295,13 +307,16 @@ impl Graph {
         let bd = self.value(b).data().to_vec();
         let av = self.value(a);
         let mut out = Tensor::zeros(m, n);
-        for r in 0..m {
-            let arow = av.row(r);
-            let orow = out.row_mut(r);
-            for j in 0..n {
-                orow[j] = arow[j] + bd[r];
+        let threads = pool::threads_for(m, m * n);
+        pool::par_row_blocks(out.data_mut(), n, threads, |i0, block| {
+            for (ri, orow) in block.chunks_mut(n).enumerate() {
+                let r = i0 + ri;
+                let arow = av.row(r);
+                for j in 0..n {
+                    orow[j] = arow[j] + bd[r];
+                }
             }
-        }
+        });
         let rg = self.rg(a.0) || self.rg(b.0);
         self.push(Op::AddCol { a: a.0, b: b.0 }, out, rg)
     }
@@ -314,13 +329,16 @@ impl Graph {
         let bd = self.value(b).data().to_vec();
         let av = self.value(a);
         let mut out = Tensor::zeros(m, n);
-        for r in 0..m {
-            let arow = av.row(r);
-            let orow = out.row_mut(r);
-            for j in 0..n {
-                orow[j] = arow[j] * bd[r];
+        let threads = pool::threads_for(m, m * n);
+        pool::par_row_blocks(out.data_mut(), n, threads, |i0, block| {
+            for (ri, orow) in block.chunks_mut(n).enumerate() {
+                let r = i0 + ri;
+                let arow = av.row(r);
+                for j in 0..n {
+                    orow[j] = arow[j] * bd[r];
+                }
             }
-        }
+        });
         let rg = self.rg(a.0) || self.rg(b.0);
         self.push(Op::MulCol { a: a.0, b: b.0 }, out, rg)
     }
@@ -329,70 +347,70 @@ impl Graph {
 
     /// `c * a`.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
-        let v = self.value(a).map(|x| c * x);
+        let v = self.value(a).par_map(|x| c * x);
         let rg = self.rg(a.0);
         self.push(Op::Scale { a: a.0, c }, v, rg)
     }
 
     /// `a + c`.
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
-        let v = self.value(a).map(|x| x + c);
+        let v = self.value(a).par_map(|x| x + c);
         let rg = self.rg(a.0);
         self.push(Op::AddScalar { a: a.0, c }, v, rg)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(stable_sigmoid);
+        let v = self.value(a).par_map(stable_sigmoid);
         let rg = self.rg(a.0);
         self.push(Op::Sigmoid { a: a.0 }, v, rg)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::tanh);
+        let v = self.value(a).par_map(f32::tanh);
         let rg = self.rg(a.0);
         self.push(Op::Tanh { a: a.0 }, v, rg)
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(0.0));
+        let v = self.value(a).par_map(|x| x.max(0.0));
         let rg = self.rg(a.0);
         self.push(Op::Relu { a: a.0 }, v, rg)
     }
 
     /// Leaky ReLU with the given negative slope (the paper's activation).
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
-        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
+        let v = self.value(a).par_map(|x| if x > 0.0 { x } else { slope * x });
         let rg = self.rg(a.0);
         self.push(Op::LeakyRelu { a: a.0, slope }, v, rg)
     }
 
     /// Elementwise exponential.
     pub fn exp(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::exp);
+        let v = self.value(a).par_map(f32::exp);
         let rg = self.rg(a.0);
         self.push(Op::Exp { a: a.0 }, v, rg)
     }
 
     /// Elementwise natural log (inputs must be positive).
     pub fn ln(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::ln);
+        let v = self.value(a).par_map(f32::ln);
         let rg = self.rg(a.0);
         self.push(Op::Ln { a: a.0 }, v, rg)
     }
 
     /// Elementwise square root (inputs must be non-negative).
     pub fn sqrt(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::sqrt);
+        let v = self.value(a).par_map(f32::sqrt);
         let rg = self.rg(a.0);
         self.push(Op::Sqrt { a: a.0 }, v, rg)
     }
 
     /// Elementwise square.
     pub fn square(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x * x);
+        let v = self.value(a).par_map(|x| x * x);
         let rg = self.rg(a.0);
         self.push(Op::Square { a: a.0 }, v, rg)
     }
@@ -404,9 +422,12 @@ impl Graph {
         let av = self.value(a);
         let (m, n) = av.shape();
         let mut out = Tensor::zeros(m, n);
-        for r in 0..m {
-            softmax_into(av.row(r), out.row_mut(r));
-        }
+        let threads = pool::threads_for(m, m * n);
+        pool::par_row_blocks(out.data_mut(), n, threads, |i0, block| {
+            for (ri, orow) in block.chunks_mut(n).enumerate() {
+                softmax_into(av.row(i0 + ri), orow);
+            }
+        });
         let rg = self.rg(a.0);
         self.push(Op::SoftmaxRows { a: a.0 }, out, rg)
     }
@@ -419,9 +440,12 @@ impl Graph {
         assert_eq!(av.shape(), mv.shape(), "masked_softmax: shape mismatch");
         let (m, n) = av.shape();
         let mut out = Tensor::zeros(m, n);
-        for r in 0..m {
-            masked_softmax_into(av.row(r), mv.row(r), out.row_mut(r));
-        }
+        let threads = pool::threads_for(m, m * n);
+        pool::par_row_blocks(out.data_mut(), n, threads, |i0, block| {
+            for (ri, orow) in block.chunks_mut(n).enumerate() {
+                masked_softmax_into(av.row(i0 + ri), mv.row(i0 + ri), orow);
+            }
+        });
         let rg = self.rg(a.0);
         self.push(Op::MaskedSoftmaxRows { a: a.0, mask: mask.0 }, out, rg)
     }
@@ -483,11 +507,12 @@ impl Graph {
         let av = self.value(a);
         let (m, n) = av.shape();
         let mut out = Tensor::zeros(m * times, n);
-        for r in 0..m {
-            for k in 0..times {
-                out.row_mut(r * times + k).copy_from_slice(av.row(r));
+        let threads = pool::threads_for(m * times, m * times * n);
+        pool::par_row_blocks(out.data_mut(), n, threads, |i0, block| {
+            for (ri, orow) in block.chunks_mut(n).enumerate() {
+                orow.copy_from_slice(av.row((i0 + ri) / times));
             }
-        }
+        });
         let rg = self.rg(a.0);
         self.push(Op::RepeatRows { a: a.0, times }, out, rg)
     }
@@ -544,7 +569,14 @@ impl Graph {
         let av = self.value(a);
         let bv = self.value(b);
         assert_eq!(av.shape(), bv.shape(), "row_dot: shape mismatch");
-        let v = Tensor::from_fn(av.rows(), 1, |r, _| linalg::dot(av.row(r), bv.row(r)));
+        let (m, n) = av.shape();
+        let mut v = Tensor::zeros(m, 1);
+        let threads = pool::threads_for(m, m * n);
+        pool::par_row_blocks(v.data_mut(), 1, threads, |i0, block| {
+            for (ri, o) in block.iter_mut().enumerate() {
+                *o = linalg::dot(av.row(i0 + ri), bv.row(i0 + ri));
+            }
+        });
         let rg = self.rg(a.0) || self.rg(b.0);
         self.push(Op::RowDot { a: a.0, b: b.0 }, v, rg)
     }
@@ -560,20 +592,24 @@ impl Graph {
         assert_eq!(sv.cols(), t * d, "seq_weighted_sum: seq cols {} != {t}*{d}", sv.cols());
         assert_eq!(wv.shape(), (m, t), "seq_weighted_sum: weights must be [{m},{t}]");
         let mut out = Tensor::zeros(m, d);
-        for r in 0..m {
-            let srow = sv.row(r);
-            let wrow = wv.row(r);
-            let orow = out.row_mut(r);
-            for (ti, &wt) in wrow.iter().enumerate() {
-                if wt == 0.0 {
-                    continue;
-                }
-                let block = &srow[ti * d..(ti + 1) * d];
-                for (o, &s) in orow.iter_mut().zip(block.iter()) {
-                    *o += wt * s;
+        let threads = pool::threads_for(m, m * t * d);
+        pool::par_row_blocks(out.data_mut(), d, threads, |i0, block| {
+            for (ri, orow) in block.chunks_mut(d).enumerate() {
+                let srow = sv.row(i0 + ri);
+                let wrow = wv.row(i0 + ri);
+                for (ti, &wt) in wrow.iter().enumerate() {
+                    // Masked positions (w = 0) contribute nothing; skipping
+                    // them is per-row, so the partition cannot change results.
+                    if wt == 0.0 {
+                        continue;
+                    }
+                    let sblock = &srow[ti * d..(ti + 1) * d];
+                    for (o, &s) in orow.iter_mut().zip(sblock.iter()) {
+                        *o += wt * s;
+                    }
                 }
             }
-        }
+        });
         let rg = self.rg(seq.0) || self.rg(w.0);
         self.push(Op::SeqWeightedSum { seq: seq.0, w: w.0, t, d }, out, rg)
     }
@@ -593,14 +629,16 @@ impl Graph {
             out_dim * in_dim
         );
         let mut out = Tensor::zeros(m, out_dim);
-        for r in 0..m {
-            let wrow = wv.row(r);
-            let xrow = xv.row(r);
-            let orow = out.row_mut(r);
-            for (o, oval) in orow.iter_mut().enumerate() {
-                *oval = linalg::dot(&wrow[o * in_dim..(o + 1) * in_dim], xrow);
+        let threads = pool::threads_for(m, m * out_dim * in_dim);
+        pool::par_row_blocks(out.data_mut(), out_dim, threads, |i0, block| {
+            for (ri, orow) in block.chunks_mut(out_dim).enumerate() {
+                let wrow = wv.row(i0 + ri);
+                let xrow = xv.row(i0 + ri);
+                for (o, oval) in orow.iter_mut().enumerate() {
+                    *oval = linalg::dot(&wrow[o * in_dim..(o + 1) * in_dim], xrow);
+                }
             }
-        }
+        });
         let rg = self.rg(w.0) || self.rg(x.0);
         self.push(Op::MetaLinear { w: w.0, x: x.0, out_dim, in_dim }, out, rg)
     }
@@ -627,20 +665,24 @@ impl Graph {
             out_dim * in_dim
         );
         let mut out = Tensor::zeros(m, out_dim);
-        for r in 0..m {
-            let wrow = wv.row(r);
-            let xrow = xv.row(r);
-            let orow = out.row_mut(r);
-            for (i, &xi) in xrow.iter().enumerate() {
-                if xi == 0.0 {
-                    continue;
-                }
-                let wblock = &wrow[i * out_dim..(i + 1) * out_dim];
-                for (o, &wio) in orow.iter_mut().zip(wblock.iter()) {
-                    *o += wio * xi;
+        let threads = pool::threads_for(m, m * out_dim * in_dim);
+        pool::par_row_blocks(out.data_mut(), out_dim, threads, |i0, block| {
+            for (ri, orow) in block.chunks_mut(out_dim).enumerate() {
+                let wrow = wv.row(i0 + ri);
+                let xrow = xv.row(i0 + ri);
+                for (i, &xi) in xrow.iter().enumerate() {
+                    // Per-row skip of zero inputs (sparse one-hot features);
+                    // does not interact with the thread partition.
+                    if xi == 0.0 {
+                        continue;
+                    }
+                    let wblock = &wrow[i * out_dim..(i + 1) * out_dim];
+                    for (o, &wio) in orow.iter_mut().zip(wblock.iter()) {
+                        *o += wio * xi;
+                    }
                 }
             }
-        }
+        });
         let rg = self.rg(w.0) || self.rg(x.0);
         self.push(Op::MetaLinearInMajor { w: w.0, x: x.0, out_dim, in_dim }, out, rg)
     }
@@ -673,14 +715,19 @@ impl Graph {
         for vj in &mut var {
             *vj /= m as f32;
         }
+        // The per-row standardization is independent across rows; the batch
+        // statistics above stay serial because their accumulation order is
+        // part of the deterministic contract.
         let mut out = Tensor::zeros(m, n);
-        for r in 0..m {
-            let xrow = xv.row(r);
-            let orow = out.row_mut(r);
-            for j in 0..n {
-                orow[j] = (xrow[j] - mean[j]) / (var[j] + eps).sqrt();
+        let threads = pool::threads_for(m, m * n);
+        pool::par_row_blocks(out.data_mut(), n, threads, |i0, block| {
+            for (ri, orow) in block.chunks_mut(n).enumerate() {
+                let xrow = xv.row(i0 + ri);
+                for j in 0..n {
+                    orow[j] = (xrow[j] - mean[j]) / (var[j] + eps).sqrt();
+                }
             }
-        }
+        });
         let rg = self.rg(x.0);
         self.push_saved(
             Op::BatchNormTrain { x: x.0, eps },
@@ -700,13 +747,15 @@ impl Graph {
         let mu = self.value(mean).data().to_vec();
         let va = self.value(var).data().to_vec();
         let mut out = Tensor::zeros(m, n);
-        for r in 0..m {
-            let xrow = xv.row(r);
-            let orow = out.row_mut(r);
-            for j in 0..n {
-                orow[j] = (xrow[j] - mu[j]) / (va[j] + eps).sqrt();
+        let threads = pool::threads_for(m, m * n);
+        pool::par_row_blocks(out.data_mut(), n, threads, |i0, block| {
+            for (ri, orow) in block.chunks_mut(n).enumerate() {
+                let xrow = xv.row(i0 + ri);
+                for j in 0..n {
+                    orow[j] = (xrow[j] - mu[j]) / (va[j] + eps).sqrt();
+                }
             }
-        }
+        });
         let rg = self.rg(x.0);
         self.push(Op::NormalizeEval { x: x.0, mean: mean.0, var: var.0, eps }, out, rg)
     }

@@ -37,6 +37,7 @@ pub mod linalg;
 pub mod nn;
 pub mod optim;
 pub mod params;
+pub mod pool;
 pub mod serialize;
 pub mod rng;
 pub mod tensor;

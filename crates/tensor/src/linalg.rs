@@ -9,7 +9,20 @@
 //!
 //! All kernels use the cache-friendly `i-k-j` loop order so the innermost loop
 //! streams contiguous rows of `B` and `C`, which the compiler auto-vectorizes.
+//!
+//! Above a work threshold (see [`crate::pool::threads_for`]) each kernel
+//! row-blocks its *output* across scoped threads. The per-row code is shared
+//! between the serial and parallel paths and every output element accumulates
+//! in the same `p`-ascending order regardless of the partition, so results
+//! are bitwise identical for any `BASM_THREADS` value.
+//!
+//! The default kernels are branch-free: they do not skip zero entries, so
+//! their flop count is shape-determined (what the Table VI efficiency
+//! accounting assumes) and serial/parallel variants do identical work. For
+//! genuinely sparse left operands (e.g. one-hot rows) use
+//! [`matmul_acc_sparse`], which keeps the zero-skip and is explicit about it.
 
+use crate::pool;
 use crate::tensor::Tensor;
 
 /// `C = A · B` where `A: [m,k]`, `B: [k,n]`.
@@ -22,27 +35,63 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     c
 }
 
-/// `C += A · B` into an existing output buffer.
-pub fn matmul_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) {
-    let (m, k) = a.shape();
-    let (_, n) = b.shape();
-    debug_assert_eq!(c.shape(), (m, n));
-    let ad = a.data();
-    let bd = b.data();
-    let cd = c.data_mut();
-    for i in 0..m {
+/// Accumulate `A[i0.., :] · B` into `c_rows` (rows `i0..` of C).
+fn matmul_rows(ad: &[f32], bd: &[f32], c_rows: &mut [f32], i0: usize, k: usize, n: usize) {
+    for (ri, crow) in c_rows.chunks_mut(n).enumerate() {
+        let i = i0 + ri;
         let arow = &ad[i * k..(i + 1) * k];
-        let crow = &mut cd[i * n..(i + 1) * n];
         for (p, &aip) in arow.iter().enumerate() {
-            if aip == 0.0 {
-                continue;
-            }
             let brow = &bd[p * n..(p + 1) * n];
             for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
                 *cv += aip * bv;
             }
         }
     }
+}
+
+/// `C += A · B` into an existing output buffer. Branch-free: every
+/// `a[i][p]` participates, so the flop count is exactly `2·m·k·n`
+/// independent of the data.
+pub fn matmul_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    let (m, k) = a.shape();
+    let (_, n) = b.shape();
+    debug_assert_eq!(c.shape(), (m, n));
+    let ad = a.data();
+    let bd = b.data();
+    let threads = pool::threads_for(m, m * k * n);
+    pool::par_row_blocks(c.data_mut(), n, threads, |i0, block| {
+        matmul_rows(ad, bd, block, i0, k, n);
+    });
+}
+
+/// `C += A · B`, skipping zero entries of `A`.
+///
+/// Bitwise-equal results to [`matmul_acc`] except for signed-zero outputs,
+/// but the flop count becomes data-dependent — use only where the left
+/// operand is known sparse (one-hot / heavily masked rows) and the caller
+/// accepts data-dependent timing.
+pub fn matmul_acc_sparse(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    let (m, k) = a.shape();
+    let (_, n) = b.shape();
+    debug_assert_eq!(c.shape(), (m, n));
+    let ad = a.data();
+    let bd = b.data();
+    let threads = pool::threads_for(m, m * k * n);
+    pool::par_row_blocks(c.data_mut(), n, threads, |i0, block| {
+        for (ri, crow) in block.chunks_mut(n).enumerate() {
+            let i = i0 + ri;
+            let arow = &ad[i * k..(i + 1) * k];
+            for (p, &aip) in arow.iter().enumerate() {
+                if aip == 0.0 {
+                    continue;
+                }
+                let brow = &bd[p * n..(p + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                    *cv += aip * bv;
+                }
+            }
+        }
+    });
 }
 
 /// `C = Aᵀ · B` where `A: [k,m]`, `B: [k,n]`, result `[m,n]`.
@@ -53,21 +102,23 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let mut c = Tensor::zeros(m, n);
     let ad = a.data();
     let bd = b.data();
-    let cd = c.data_mut();
-    // For each shared row p of A and B, rank-1 update C += A[p,:]ᵀ · B[p,:].
-    for p in 0..k {
-        let arow = &ad[p * m..(p + 1) * m];
-        let brow = &bd[p * n..(p + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let crow = &mut cd[i * n..(i + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                *cv += av * bv;
+    let threads = pool::threads_for(m, m * k * n);
+    // Each block owns output rows [i0, i0+rows) — columns i0.. of A. The
+    // p-outer loop keeps B-row streaming and preserves the accumulation
+    // order of the serial (single-block) pass for every output element.
+    pool::par_row_blocks(c.data_mut(), n, threads, |i0, block| {
+        let rows = block.len() / n;
+        for p in 0..k {
+            let arow = &ad[p * m..(p + 1) * m];
+            let brow = &bd[p * n..(p + 1) * n];
+            for (ri, &av) in arow[i0..i0 + rows].iter().enumerate() {
+                let crow = &mut block[ri * n..(ri + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                    *cv += av * bv;
+                }
             }
         }
-    }
+    });
     c
 }
 
@@ -79,19 +130,20 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let mut c = Tensor::zeros(m, n);
     let ad = a.data();
     let bd = b.data();
-    let cd = c.data_mut();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let crow = &mut cd[i * n..(i + 1) * n];
-        for (j, cv) in crow.iter_mut().enumerate() {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in arow.iter().zip(brow.iter()) {
-                acc += av * bv;
+    let threads = pool::threads_for(m, m * k * n);
+    pool::par_row_blocks(c.data_mut(), n, threads, |i0, block| {
+        for (ri, crow) in block.chunks_mut(n).enumerate() {
+            let arow = &ad[(i0 + ri) * k..(i0 + ri + 1) * k];
+            for (j, cv) in crow.iter_mut().enumerate() {
+                let brow = &bd[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                    acc += av * bv;
+                }
+                *cv = acc;
             }
-            *cv = acc;
         }
-    }
+    });
     c
 }
 
@@ -151,6 +203,19 @@ mod tests {
         let eye = Tensor::from_fn(4, 4, |i, j| if i == j { 1.0 } else { 0.0 });
         assert_close(&matmul(&a, &eye), &a, 1e-6);
         assert_close(&matmul(&eye, &a), &a, 1e-6);
+    }
+
+    #[test]
+    fn sparse_entry_point_matches_dense_kernel() {
+        let mut rng = Prng::seeded(5);
+        // One-hot-ish left operand: mostly zeros.
+        let a = Tensor::from_fn(8, 16, |i, j| if j == i * 2 { 1.5 } else { 0.0 });
+        let b = rng.randn(16, 6, 1.0);
+        let mut dense = Tensor::zeros(8, 6);
+        let mut sparse = Tensor::zeros(8, 6);
+        matmul_acc(&a, &b, &mut dense);
+        matmul_acc_sparse(&a, &b, &mut sparse);
+        assert_close(&dense, &sparse, 0.0);
     }
 
     #[test]

@@ -54,12 +54,17 @@ impl BatchNorm1d {
         assert_eq!(g.value(x).cols(), self.dim, "BatchNorm1d: width mismatch");
         if training {
             let out = g.batch_norm_train(x, self.eps);
+            let m = g.value(x).rows();
             let (mean, var) = g.bn_saved(out).expect("BN stats saved in training mode");
+            // Normalization uses the biased batch variance (÷ m), but the
+            // running estimate tracks the *population* variance, so fold in
+            // the n/(n-1) Bessel correction — matching torch/TF semantics.
+            let bessel = if m > 1 { m as f32 / (m as f32 - 1.0) } else { 1.0 };
             for j in 0..self.dim {
                 self.running_mean[j] =
                     (1.0 - self.momentum) * self.running_mean[j] + self.momentum * mean[j];
-                self.running_var[j] =
-                    (1.0 - self.momentum) * self.running_var[j] + self.momentum * var[j];
+                self.running_var[j] = (1.0 - self.momentum) * self.running_var[j]
+                    + self.momentum * bessel * var[j];
             }
             out
         } else {
@@ -145,6 +150,27 @@ mod tests {
         }
         assert!((bn.running_mean()[0] - 4.0).abs() < 0.3, "{}", bn.running_mean()[0]);
         assert!((bn.running_var()[0] - 4.0).abs() < 0.8, "{}", bn.running_var()[0]);
+    }
+
+    #[test]
+    fn running_stats_pin_known_batch() {
+        let mut store = ParamStore::new();
+        let mut bn = BatchNorm1d::new(&mut store, "bn", 1);
+        let mut g = Graph::new();
+        // Batch [1,2,3,4]: mean 2.5, biased var 1.25, unbiased var 5/3.
+        let xv = g.input(Tensor::from_vec(4, 1, vec![1.0, 2.0, 3.0, 4.0]));
+        let out = bn.normalize(&mut g, xv, true);
+        // running_mean = 0.9*0 + 0.1*2.5; running_var = 0.9*1 + 0.1*(5/3).
+        assert!((bn.running_mean()[0] - 0.25).abs() < 1e-6, "{}", bn.running_mean()[0]);
+        assert!(
+            (bn.running_var()[0] - (0.9 + 0.1 * 5.0 / 3.0)).abs() < 1e-6,
+            "{}",
+            bn.running_var()[0]
+        );
+        // The normalized output itself still uses the biased batch variance.
+        let (mean, var) = g.bn_saved(out).unwrap();
+        assert!((mean[0] - 2.5).abs() < 1e-6);
+        assert!((var[0] - 1.25).abs() < 1e-6);
     }
 
     #[test]

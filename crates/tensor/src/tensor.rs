@@ -6,6 +6,7 @@
 //! `(seq_len, dim)` split), a scalar loss is `[1, 1]`. Keeping the tensor rank
 //! fixed at 2 keeps every backward rule auditable.
 
+use crate::pool;
 use std::fmt;
 
 /// A dense row-major matrix of `f32` values.
@@ -205,6 +206,40 @@ impl Tensor {
         }
     }
 
+    /// Like [`Tensor::map`], but element blocks fan out across the thread
+    /// pool when the tensor is large enough (see [`crate::pool::threads_for`]).
+    /// Every element is transformed independently by the same `f`, so the
+    /// result is bitwise identical to `map` for any thread count.
+    pub fn par_map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, self.cols);
+        let len = self.data.len();
+        let threads = pool::threads_for(len, len);
+        let src = &self.data;
+        pool::par_row_blocks(&mut out.data, 1, threads, |i0, block| {
+            for (k, o) in block.iter_mut().enumerate() {
+                *o = f(src[i0 + k]);
+            }
+        });
+        out
+    }
+
+    /// Parallel sibling of [`Tensor::zip_map`]; same determinism contract as
+    /// [`Tensor::par_map`].
+    pub fn par_zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        let mut out = Tensor::zeros(self.rows, self.cols);
+        let len = self.data.len();
+        let threads = pool::threads_for(len, len);
+        let a = &self.data;
+        let b = &other.data;
+        pool::par_row_blocks(&mut out.data, 1, threads, |i0, block| {
+            for (k, o) in block.iter_mut().enumerate() {
+                *o = f(a[i0 + k], b[i0 + k]);
+            }
+        });
+        out
+    }
+
     /// `self += other` elementwise. Shapes must match.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
@@ -342,5 +377,13 @@ mod tests {
     #[test]
     fn item_scalar() {
         assert_eq!(Tensor::scalar(2.5).item(), 2.5);
+    }
+
+    #[test]
+    fn par_maps_match_serial() {
+        let t = Tensor::from_fn(7, 5, |r, c| (r * 5 + c) as f32 - 10.0);
+        let u = Tensor::from_fn(7, 5, |r, c| (c * 7 + r) as f32 * 0.5);
+        assert_eq!(t.par_map(|x| x * 2.0 + 1.0), t.map(|x| x * 2.0 + 1.0));
+        assert_eq!(t.par_zip_map(&u, |a, b| a * b - a), t.zip_map(&u, |a, b| a * b - a));
     }
 }

@@ -1,0 +1,134 @@
+//! Bitwise determinism of the parallel execution layer.
+//!
+//! The contract (see `basm_tensor::pool`): changing the thread count never
+//! changes results, only wall-clock. Partitions are fixed contiguous output
+//! blocks, every element's accumulation order is partition-independent, and
+//! there are no atomics or cross-thread reductions. These tests pin that
+//! contract by running identical computations under 1, 3 and 4 threads with
+//! the parallelism threshold forced to zero (so even tiny fixtures take the
+//! parallel code paths) and comparing raw bits.
+
+use basm_tensor::gradcheck::assert_gradients;
+use basm_tensor::{linalg, pool};
+use basm_tensor::{Graph, Prng, Tensor};
+use std::sync::Mutex;
+
+/// Pool settings are process-global; serialize the tests that change them.
+static SETTINGS: Mutex<()> = Mutex::new(());
+
+fn with_pool<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    pool::set_threads(threads);
+    pool::set_min_work(0);
+    let out = f();
+    pool::set_threads(0);
+    pool::set_min_work(usize::MAX);
+    out
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn matmul_kernels_bitwise_identical_across_thread_counts() {
+    let _guard = SETTINGS.lock().unwrap();
+    let mut rng = Prng::seeded(7);
+    let a = rng.randn(37, 19, 1.0);
+    let b = rng.randn(19, 23, 1.0);
+    let at = rng.randn(19, 37, 1.0);
+    let bt = rng.randn(23, 19, 1.0);
+    let run = |threads: usize| {
+        with_pool(threads, || {
+            let mut sparse = Tensor::zeros(37, 23);
+            linalg::matmul_acc_sparse(&a, &b, &mut sparse);
+            (
+                bits(&linalg::matmul(&a, &b)),
+                bits(&linalg::matmul_at_b(&at, &b)),
+                bits(&linalg::matmul_a_bt(&a, &bt)),
+                bits(&sparse),
+            )
+        })
+    };
+    let serial = run(1);
+    assert_eq!(serial, run(4));
+    // 37 rows over 3 threads: a partition that does not divide evenly.
+    assert_eq!(serial, run(3));
+}
+
+/// A composite model exercising the parallel graph/backward kernels:
+/// matmul, batch norm, leaky ReLU, softmax, fused sequence pooling,
+/// per-sample meta-linear, concat, tanh, row sums and the BCE loss.
+fn forward_backward_bits() -> (u32, Vec<Vec<u32>>) {
+    let mut rng = Prng::seeded(42);
+    let x = rng.randn(24, 16, 1.0);
+    let w1 = rng.randn(16, 12, 0.5);
+    let seq = rng.randn(24, 6 * 8, 1.0);
+    let wq = rng.randn(24, 6, 0.5);
+    let mw = rng.randn(24, 4 * 12, 0.3);
+    let labels = Tensor::from_fn(24, 1, |r, _| (r % 2) as f32);
+
+    let mut g = Graph::new();
+    let xv = g.input_with_grad(x);
+    let w1v = g.input_with_grad(w1);
+    let seqv = g.input_with_grad(seq);
+    let wqv = g.input_with_grad(wq);
+    let mwv = g.input_with_grad(mw);
+    let yv = g.input(labels);
+
+    let h = g.matmul(xv, w1v);
+    let hb = g.batch_norm_train(h, 1e-5);
+    let ha = g.leaky_relu(hb, 0.1);
+    let att = g.softmax_rows(wqv);
+    let pooled = g.seq_weighted_sum(seqv, att, 6, 8);
+    let meta = g.meta_linear(mwv, ha, 4, 12);
+    let cat = g.concat_cols(&[pooled, meta]);
+    let s = g.tanh(cat);
+    let logits = g.sum_rows(s);
+    let loss = g.bce_with_logits(logits, yv);
+    g.backward(loss);
+
+    let loss_bits = g.value(loss).data()[0].to_bits();
+    let grad_bits = [xv, w1v, seqv, wqv, mwv]
+        .iter()
+        .map(|&v| {
+            g.grad(v)
+                .expect("input gradient present")
+                .data()
+                .iter()
+                .map(|f| f.to_bits())
+                .collect()
+        })
+        .collect();
+    (loss_bits, grad_bits)
+}
+
+#[test]
+fn forward_backward_bitwise_identical_across_thread_counts() {
+    let _guard = SETTINGS.lock().unwrap();
+    let serial = with_pool(1, forward_backward_bits);
+    assert_eq!(serial, with_pool(4, forward_backward_bits));
+    assert_eq!(serial, with_pool(3, forward_backward_bits));
+}
+
+#[test]
+fn gradcheck_passes_under_parallel_kernels() {
+    let _guard = SETTINGS.lock().unwrap();
+    with_pool(4, || {
+        let mut rng = Prng::seeded(11);
+        let a = rng.randn(5, 4, 0.7);
+        let b = rng.randn(4, 3, 0.7);
+        assert_gradients(&[a, b], |g, v| {
+            let y = g.matmul(v[0], v[1]);
+            let s = g.softmax_rows(y);
+            let q = g.square(s);
+            g.mean_all(q)
+        });
+        let w = rng.randn(4, 6, 0.5);
+        let x = rng.randn(4, 3, 0.5);
+        assert_gradients(&[w, x], |g, v| {
+            let y = g.meta_linear(v[0], v[1], 2, 3);
+            let t = g.tanh(y);
+            g.mean_all(t)
+        });
+    });
+}

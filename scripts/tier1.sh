@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build + full workspace test suite, run twice —
+# once forced serial and once under 4 threads. The parallel execution
+# layer guarantees bitwise-identical results for any BASM_THREADS, so
+# both passes must be green (see DESIGN.md §6).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier1: cargo build --release =="
+cargo build --release
+
+for threads in 1 4; do
+    echo "== tier1: cargo test (BASM_THREADS=$threads) =="
+    BASM_THREADS=$threads cargo test -q --workspace
+done
+
+echo "== tier1: OK =="

@@ -1,0 +1,198 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides the macro + type surface the bench targets use
+//! (`criterion_group!`/`criterion_main!`, `Criterion`, `BenchmarkId`,
+//! benchmark groups, and `Bencher::iter`) over a simple wall-clock
+//! measurement loop: per sample, iterations are batched until the batch
+//! takes ≳1 ms, and the mean/median/min ns-per-iteration are printed.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        run_benchmark(name, self.sample_size, &mut f);
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named set of benchmarks sharing a group prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let full = format!("{}/{name}", self.name);
+        run_benchmark(&full, self.criterion.sample_size, &mut f);
+    }
+
+    /// Run `group/id` with an input payload.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id.label);
+        run_benchmark(&full, self.criterion.sample_size, &mut |b: &mut Bencher| {
+            f(b, input);
+        });
+    }
+
+    /// Finish the group (formatting no-op, kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only label.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_batch<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    bencher.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
+    // Calibrate: grow the batch until one batch costs ≥ ~1 ms (or the
+    // routine is so slow a single iteration already exceeds it).
+    let mut iters: u64 = 1;
+    loop {
+        let elapsed = time_batch(f, iters);
+        if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+            break;
+        }
+        iters = (iters * 4).min(1 << 20);
+    }
+
+    let mut per_iter_ns: Vec<f64> = (0..sample_size)
+        .map(|_| time_batch(f, iters).as_nanos() as f64 / iters as f64)
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let min = per_iter_ns[0];
+    println!(
+        "{name:<48} time: [min {} median {} mean {}] ({sample_size} samples x {iters} iters)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("demo");
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+        c.bench_function("top_level", |b| b.iter(|| std::hint::black_box(2 * 2)));
+    }
+}

@@ -1,0 +1,312 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Instead of upstream's visitor-based data model, this crate uses a concrete
+//! JSON-like [`Value`] tree: `Serialize` renders into a `Value`,
+//! `Deserialize` reads back out of one. `serde_json` (the sibling stand-in)
+//! turns `Value` into JSON text and back. The derive macros in
+//! `serde_derive` target exactly this trait pair.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-shaped data tree. Object keys keep insertion order so serialized
+/// artifacts are stable across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (used when the value exceeds `i64`).
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a field of an object by key.
+    pub fn get_field(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => {
+                pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64` (accepts any number variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(v) => Some(v as f64),
+            Value::UInt(v) => Some(v as f64),
+            Value::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(v) => Some(v),
+            Value::UInt(v) => i64::try_from(v).ok(),
+            Value::Float(v) if v.fract() == 0.0 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(v) => u64::try_from(v).ok(),
+            Value::UInt(v) => Some(v),
+            Value::Float(v) if v.fract() == 0.0 && v >= 0.0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a human-readable message.
+pub type DeError = String;
+
+/// Render `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert to the JSON data model.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Convert from the JSON data model.
+    fn from_json_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Helper for derive-generated code: error for a missing object field.
+pub fn missing_field(ty: &str, field: &str) -> DeError {
+    format!("missing field `{field}` while deserializing {ty}")
+}
+
+/// Helper for derive-generated code: error for an unexpected shape.
+pub fn unexpected(ty: &str, v: &Value) -> DeError {
+    format!("unexpected value {v:?} while deserializing {ty}")
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                match i64::try_from(*self as i128) {
+                    Ok(v) => Value::Int(v),
+                    Err(_) => Value::UInt(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match *v {
+                    Value::Int(i) => i128::from(i),
+                    Value::UInt(u) => i128::from(u),
+                    Value::Float(f) if f.fract() == 0.0 => f as i128,
+                    _ => return Err(unexpected(stringify!($t), v)),
+                };
+                <$t>::try_from(wide).map_err(|_| unexpected(stringify!($t), v))
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Float(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                v.as_f64().map(|f| f as $t).ok_or_else(|| unexpected(stringify!($t), v))
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| unexpected("bool", v))
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(str::to_owned).ok_or_else(|| unexpected("String", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| unexpected("Vec", v))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_array().ok_or_else(|| unexpected("tuple", v))?;
+                let mut it = items.iter();
+                Ok(($(
+                    {
+                        let _ = $idx;
+                        $name::from_json_value(
+                            it.next().ok_or_else(|| unexpected("tuple", v))?,
+                        )?
+                    },
+                )+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(i64::from_json_value(&42u64.to_json_value()), Ok(42));
+        assert_eq!(f64::from_json_value(&1.5f32.to_json_value()), Ok(1.5));
+        assert_eq!(
+            Option::<f64>::from_json_value(&Option::<f64>::None.to_json_value()),
+            Ok(None)
+        );
+        let v = vec![1usize, 2, 3];
+        assert_eq!(Vec::<usize>::from_json_value(&v.to_json_value()), Ok(v));
+    }
+
+    #[test]
+    fn object_field_lookup() {
+        let obj = Value::Object(vec![
+            ("a".into(), Value::Int(1)),
+            ("b".into(), Value::Bool(true)),
+        ]);
+        assert_eq!(obj.get_field("b"), Some(&Value::Bool(true)));
+        assert_eq!(obj.get_field("missing"), None);
+    }
+}

@@ -1,0 +1,443 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the stand-in `serde::Serialize` / `serde::Deserialize` traits
+//! (the `Value`-tree pair, not upstream's visitor model). The input item is
+//! parsed directly from the `proc_macro::TokenStream` — no `syn`/`quote`,
+//! since the build environment has no registry access.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! named-field structs, tuple structs, unit structs, and enums whose
+//! variants are unit, single/multi-field tuple, or named-field.
+//! Generic types are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `struct`/`enum` item.
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: field count.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum: variants in declaration order.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derive the stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated code must parse")
+}
+
+/// Derive the stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated code must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+
+    let keyword = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic types (on `{name}`)");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            other => panic!("serde stand-in derive: unexpected token after `struct {name}`: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde stand-in derive: unexpected token after `enum {name}`: {other:?}"),
+        },
+        other => panic!("serde stand-in derive supports structs and enums, got `{other}`"),
+    };
+
+    Item { name, kind }
+}
+
+/// Skip leading `#[...]` attributes (incl. doc comments) and a `pub` /
+/// `pub(...)` visibility qualifier.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    toks.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde stand-in derive: expected identifier, got {other:?}"),
+    }
+}
+
+/// Parse `name: Type, ...` bodies. Types are skipped token-wise; commas
+/// nested in `<...>` generics are ignored via angle-depth tracking (commas
+/// inside parens/brackets are invisible because groups are atomic tokens).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stand-in derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        while let Some(tok) = toks.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Count the fields of a tuple-struct/tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens_since_comma = true;
+    for tok in &toks {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    saw_tokens_since_comma = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde stand-in derive does not support explicit enum discriminants");
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn string_lit(s: &str) -> String {
+    format!("::std::string::String::from(\"{s}\")")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({}, ::serde::Serialize::to_json_value(&self.{f}))",
+                        string_lit(f)
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_json_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String({}),",
+                            string_lit(vname)
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![({}, \
+                             ::serde::Serialize::to_json_value(__f0))]),",
+                            string_lit(vname)
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![({}, \
+                                 ::serde::Value::Array(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                string_lit(vname),
+                                items.join(", ")
+                            )
+                        }
+                        Shape::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({}, ::serde::Serialize::to_json_value({f}))",
+                                        string_lit(f)
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => \
+                                 ::serde::Value::Object(::std::vec![({}, \
+                                 ::serde::Value::Object(::std::vec![{}]))]),",
+                                string_lit(vname),
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_json_value(__v.get_field(\"{f}\")\
+                         .ok_or_else(|| ::serde::missing_field(\"{name}\", \"{f}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_json_value(__v)?))"
+        ),
+        Kind::Tuple(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|k| {
+                    format!(
+                        "::serde::Deserialize::from_json_value(__items.get({k})\
+                         .ok_or_else(|| ::serde::unexpected(\"{name}\", __v))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| ::serde::unexpected(\"{name}\", __v))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                gets.join(", ")
+            )
+        }
+        Kind::Unit => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_json_value(__inner)?)),"
+                        )),
+                        Shape::Tuple(n) => {
+                            let gets: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!(
+                                        "::serde::Deserialize::from_json_value(__items.get({k})\
+                                         .ok_or_else(|| ::serde::unexpected(\"{name}\", __v))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ let __items = __inner.as_array()\
+                                 .ok_or_else(|| ::serde::unexpected(\"{name}\", __v))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname}({})) }}",
+                                gets.join(", ")
+                            ))
+                        }
+                        Shape::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_json_value(\
+                                         __inner.get_field(\"{f}\")\
+                                         .ok_or_else(|| ::serde::missing_field(\"{name}\", \"{f}\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+
+            let mut arms = Vec::new();
+            if !unit_arms.is_empty() {
+                arms.push(format!(
+                    "::serde::Value::String(__s) => match __s.as_str() {{ {} _ => \
+                     ::std::result::Result::Err(::serde::unexpected(\"{name}\", __v)), }},",
+                    unit_arms.join(" ")
+                ));
+            }
+            if !payload_arms.is_empty() {
+                arms.push(format!(
+                    "::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                     let __inner = &__pairs[0].1;\n\
+                     match __pairs[0].0.as_str() {{ {} _ => \
+                     ::std::result::Result::Err(::serde::unexpected(\"{name}\", __v)), }}\n\
+                     }},",
+                    payload_arms.join(" ")
+                ));
+            }
+            arms.push(format!(
+                "_ => ::std::result::Result::Err(::serde::unexpected(\"{name}\", __v)),"
+            ));
+            format!("match __v {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
