@@ -1,0 +1,354 @@
+//! Thread-local recording and global aggregation.
+//!
+//! Recording is lock-free on the hot path: every thread owns a fixed-capacity
+//! ring buffer of finished [`SpanEvent`]s plus local counter/histogram maps.
+//! When the ring fills it is drained into the thread's local per-op table;
+//! the local state merges into the process-global [`registry`] when the
+//! thread exits (scoped pool workers do this automatically) or when
+//! [`flush_current_thread`] is called. The global registry uses `BTreeMap`s
+//! so reports iterate in a deterministic name order.
+
+use crate::hist::Histogram;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Maximum `key = value` dimensions a span can carry (extra ones are dropped).
+pub const MAX_SPAN_DIMS: usize = 4;
+
+/// Finished-span events buffered per thread before aggregation.
+const RING_CAPACITY: usize = 1024;
+
+/// Fixed-size dimension list attached to a span (`rows = 128`, ...).
+#[derive(Clone, Copy, Default)]
+pub struct SpanDims {
+    len: u8,
+    entries: [(&'static str, u64); MAX_SPAN_DIMS],
+}
+
+impl SpanDims {
+    /// Capture up to [`MAX_SPAN_DIMS`] `(name, value)` pairs.
+    pub fn capture(dims: &[(&'static str, u64)]) -> Self {
+        let mut out = Self::default();
+        for &(name, v) in dims.iter().take(MAX_SPAN_DIMS) {
+            out.entries[out.len as usize] = (name, v);
+            out.len += 1;
+        }
+        out
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.entries[..self.len as usize].iter().copied()
+    }
+}
+
+/// One completed span, as pushed into the thread-local ring buffer.
+#[derive(Clone, Copy)]
+pub struct SpanEvent {
+    /// Static span name (`"matmul"`).
+    pub name: &'static str,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Captured dimensions.
+    pub dims: SpanDims,
+}
+
+/// Aggregate statistics for one span name.
+#[derive(Clone, Default)]
+pub struct SpanStat {
+    /// Number of completed spans.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across calls.
+    pub total_ns: u64,
+    /// Longest single call in nanoseconds.
+    pub max_ns: u64,
+    /// Per-dimension value sums, in first-seen order (`("rows", 131072)`).
+    pub dims: Vec<(&'static str, u64)>,
+}
+
+impl SpanStat {
+    fn absorb_event(&mut self, ev: &SpanEvent) {
+        self.calls += 1;
+        self.total_ns = self.total_ns.saturating_add(ev.dur_ns);
+        self.max_ns = self.max_ns.max(ev.dur_ns);
+        for (name, v) in ev.dims.iter() {
+            match self.dims.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, sum)) => *sum = sum.saturating_add(v),
+                None => self.dims.push((name, v)),
+            }
+        }
+    }
+
+    fn absorb_stat(&mut self, other: &SpanStat) {
+        self.calls += other.calls;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for &(name, v) in &other.dims {
+            match self.dims.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, sum)) => *sum = sum.saturating_add(v),
+                None => self.dims.push((name, v)),
+            }
+        }
+    }
+}
+
+/// Merged telemetry state: per-op span tables, counters and histograms.
+#[derive(Default)]
+pub struct Aggregates {
+    /// Span name → aggregate stats.
+    pub spans: BTreeMap<&'static str, SpanStat>,
+    /// Counter name → value.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Histogram name → merged histogram.
+    pub hists: BTreeMap<&'static str, Histogram>,
+}
+
+impl Aggregates {
+    fn merge_from(&mut self, local: &mut Local) {
+        local.drain_ring();
+        for (name, stat) in local.spans.drain_all() {
+            self.spans.entry(name).or_default().absorb_stat(&stat);
+        }
+        for (name, v) in local.counters.drain_all() {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, h) in local.hists.drain_all() {
+            self.hists.entry(name).or_insert_with(Histogram::new).merge(&h);
+        }
+    }
+}
+
+/// Tiny association list keyed by `&'static str`; spans/counters per thread
+/// are few (tens), so linear probing beats hashing and keeps first-seen order.
+struct NameMap<V>(Vec<(&'static str, V)>);
+
+impl<V: Default> NameMap<V> {
+    const fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    fn get_mut(&mut self, name: &'static str) -> &mut V {
+        if let Some(i) = self.0.iter().position(|(n, _)| *n == name) {
+            return &mut self.0[i].1;
+        }
+        self.0.push((name, V::default()));
+        &mut self.0.last_mut().expect("just pushed").1
+    }
+
+    fn drain_all(&mut self) -> impl Iterator<Item = (&'static str, V)> + '_ {
+        self.0.drain(..)
+    }
+}
+
+/// Per-thread recording state.
+struct Local {
+    ring: Vec<SpanEvent>,
+    spans: NameMap<SpanStat>,
+    counters: NameMap<u64>,
+    hists: NameMap<Histogram>,
+}
+
+impl Local {
+    const fn new() -> Self {
+        Self {
+            ring: Vec::new(),
+            spans: NameMap::new(),
+            counters: NameMap::new(),
+            hists: NameMap::new(),
+        }
+    }
+
+    fn drain_ring(&mut self) {
+        for i in 0..self.ring.len() {
+            let ev = self.ring[i];
+            self.spans.get_mut(ev.name).absorb_event(&ev);
+        }
+        self.ring.clear();
+    }
+}
+
+/// Wrapper whose `Drop` flushes the thread's telemetry into the global
+/// registry when the thread exits.
+struct LocalCell(RefCell<Local>);
+
+impl Drop for LocalCell {
+    fn drop(&mut self) {
+        registry().merge_from(self.0.get_mut());
+    }
+}
+
+thread_local! {
+    static LOCAL: LocalCell = const { LocalCell(RefCell::new(Local::new())) };
+}
+
+static REGISTRY: OnceLock<Mutex<Aggregates>> = OnceLock::new();
+
+/// Lock the process-global merged aggregates.
+pub fn registry() -> MutexGuard<'static, Aggregates> {
+    REGISTRY
+        .get_or_init(|| Mutex::new(Aggregates::default()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Push a finished span event into the calling thread's ring buffer.
+pub fn push_span(ev: SpanEvent) {
+    LOCAL.with(|cell| {
+        let mut local = cell.0.borrow_mut();
+        if local.ring.len() >= RING_CAPACITY {
+            local.drain_ring();
+        }
+        local.ring.push(ev);
+    });
+}
+
+/// Add to a counter in the calling thread's local table.
+pub fn add_counter(name: &'static str, n: u64) {
+    LOCAL.with(|cell| {
+        let mut local = cell.0.borrow_mut();
+        *local.counters.get_mut(name) += n;
+    });
+}
+
+/// Record a histogram sample in the calling thread's local table.
+pub fn record_hist(name: &'static str, v: u64) {
+    LOCAL.with(|cell| {
+        let mut local = cell.0.borrow_mut();
+        local.hists.get_mut(name).record(v);
+    });
+}
+
+/// Merge the calling thread's local state into the global registry. Pool
+/// worker threads flush automatically on exit; the main thread should flush
+/// (via [`crate::report`] or [`crate::flush`]) before reading results.
+pub fn flush_current_thread() {
+    LOCAL.with(|cell| {
+        let mut local = cell.0.borrow_mut();
+        if local.ring.is_empty()
+            && local.spans.0.is_empty()
+            && local.counters.0.is_empty()
+            && local.hists.0.is_empty()
+        {
+            return; // nothing recorded: skip the registry lock
+        }
+        registry().merge_from(&mut local);
+    });
+}
+
+/// Clear all global state (local state of *other* live threads is untouched;
+/// the calling thread's is discarded). Test/bench helper.
+pub fn reset() {
+    LOCAL.with(|cell| {
+        let mut local = cell.0.borrow_mut();
+        local.ring.clear();
+        local.spans.0.clear();
+        local.counters.0.clear();
+        local.hists.0.clear();
+    });
+    let mut reg = registry();
+    *reg = Aggregates::default();
+}
+
+/// The registry is process-global; unit tests that read or reset it must
+/// serialize against each other.
+#[cfg(test)]
+pub(crate) fn registry_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, dur_ns: u64, dims: &[(&'static str, u64)]) -> SpanEvent {
+        SpanEvent { name, dur_ns, dims: SpanDims::capture(dims) }
+    }
+
+    #[test]
+    fn events_aggregate_per_name_with_dim_sums() {
+        let mut stat = SpanStat::default();
+        stat.absorb_event(&ev("matmul", 100, &[("rows", 8), ("cols", 4)]));
+        stat.absorb_event(&ev("matmul", 50, &[("rows", 2), ("cols", 6)]));
+        assert_eq!(stat.calls, 2);
+        assert_eq!(stat.total_ns, 150);
+        assert_eq!(stat.max_ns, 100);
+        assert_eq!(stat.dims, vec![("rows", 10), ("cols", 10)]);
+    }
+
+    #[test]
+    fn stat_merge_matches_event_stream() {
+        let events =
+            [ev("op", 10, &[("n", 1)]), ev("op", 20, &[("n", 2)]), ev("op", 5, &[("n", 3)])];
+        let mut all = SpanStat::default();
+        for e in &events {
+            all.absorb_event(e);
+        }
+        let mut a = SpanStat::default();
+        a.absorb_event(&events[0]);
+        let mut b = SpanStat::default();
+        b.absorb_event(&events[1]);
+        b.absorb_event(&events[2]);
+        a.absorb_stat(&b);
+        assert_eq!(a.calls, all.calls);
+        assert_eq!(a.total_ns, all.total_ns);
+        assert_eq!(a.max_ns, all.max_ns);
+        assert_eq!(a.dims, all.dims);
+    }
+
+    #[test]
+    fn dims_beyond_capacity_are_dropped_not_corrupted() {
+        let dims: Vec<(&'static str, u64)> =
+            vec![("a", 1), ("b", 2), ("c", 3), ("d", 4), ("e", 5), ("f", 6)];
+        let captured = SpanDims::capture(&dims);
+        let collected: Vec<_> = captured.iter().collect();
+        assert_eq!(collected, dims[..MAX_SPAN_DIMS].to_vec());
+    }
+
+    #[test]
+    fn worker_thread_state_merges_on_exit() {
+        let _guard = registry_lock();
+        reset();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|t| {
+                    s.spawn(move || {
+                        push_span(ev("worker_op", 10 * (t + 1), &[]));
+                        add_counter("worker_count", 1);
+                        record_hist("worker_hist", t);
+                    })
+                })
+                .collect();
+            // Join explicitly: `scope` alone only waits for the closures,
+            // and the merge happens in TLS destructors, which run after the
+            // closure but before `join` returns.
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        // Worker thread-locals dropped on thread exit and merged globally.
+        let reg = registry();
+        let stat = &reg.spans["worker_op"];
+        assert_eq!(stat.calls, 3);
+        assert_eq!(stat.total_ns, 60);
+        assert_eq!(stat.max_ns, 30);
+        assert_eq!(reg.counters["worker_count"], 3);
+        assert_eq!(reg.hists["worker_hist"].count(), 3);
+    }
+
+    #[test]
+    fn ring_overflow_drains_into_table() {
+        let _guard = registry_lock();
+        // More events than RING_CAPACITY on one thread must not lose any.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..RING_CAPACITY + 10 {
+                    push_span(ev("overflow_op", 1, &[]));
+                }
+                flush_current_thread();
+                let reg = registry();
+                assert_eq!(reg.spans["overflow_op"].calls, (RING_CAPACITY + 10) as u64);
+            });
+        });
+    }
+}

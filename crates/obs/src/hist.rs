@@ -1,0 +1,317 @@
+//! Log-linear-bucket histograms with quantile readout.
+//!
+//! A [`Histogram`] counts `u64` samples (by convention nanoseconds, but any
+//! unit works) in buckets whose width grows geometrically: each power-of-two
+//! octave is split into [`SUB_BUCKETS`] equal linear sub-buckets, so the
+//! relative quantization error is bounded by `1/SUB_BUCKETS` (6.25%) while
+//! the whole `u64` range fits in under a thousand buckets. Values below
+//! [`SUB_BUCKETS`] — and, because the first octaves have sub-bucket width 1,
+//! all values below `2·SUB_BUCKETS` — are counted **exactly**.
+//!
+//! Recording is O(1) (a shift and two array writes), merging is element-wise
+//! addition, and quantiles use the nearest-rank rule over the cumulative
+//! bucket counts.
+
+/// Linear sub-buckets per power-of-two octave. 16 bounds the relative
+/// quantization error of a reported quantile by 1/16 = 6.25%.
+pub const SUB_BUCKETS: u64 = 16;
+
+/// log2(SUB_BUCKETS), the bit width of a sub-bucket index.
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+
+/// Total bucket count covering the full `u64` range.
+const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB_BUCKETS as usize;
+
+/// Bucket index for a value: identity below [`SUB_BUCKETS`], log-linear above.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // position of the most significant bit
+    let sub = (v >> (exp - SUB_BITS)) & (SUB_BUCKETS - 1);
+    ((exp - SUB_BITS + 1) as u64 * SUB_BUCKETS + sub) as usize
+}
+
+/// Inclusive lower bound of bucket `b` (the smallest value it can hold).
+fn bucket_lower(b: usize) -> u64 {
+    let b = b as u64;
+    if b < SUB_BUCKETS {
+        return b;
+    }
+    let exp = b / SUB_BUCKETS + SUB_BITS as u64 - 1;
+    let sub = b % SUB_BUCKETS;
+    (SUB_BUCKETS + sub) << (exp - SUB_BITS as u64)
+}
+
+/// Width of bucket `b` (1 for the exact region, `2^(exp-SUB_BITS)` above).
+fn bucket_width(b: usize) -> u64 {
+    if (b as u64) < 2 * SUB_BUCKETS {
+        1
+    } else {
+        1u64 << (b as u64 / SUB_BUCKETS + SUB_BITS as u64 - 1 - SUB_BITS as u64)
+    }
+}
+
+/// A mergeable log-linear histogram over `u64` samples.
+///
+/// ```
+/// use basm_obs::hist::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1u64, 2, 3, 4, 5] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// // Small values land in exact buckets, so quantiles are exact.
+/// assert_eq!(h.quantile(0.5), Some(3));
+/// assert_eq!(h.quantile(1.0), Some(5));
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: vec![0; NUM_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Count one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one (bucket-wise addition); the
+    /// result is identical to having recorded both sample streams here.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean of recorded samples, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.sum as f64 / self.count as f64)
+    }
+
+    /// Nearest-rank quantile: the representative value of the bucket holding
+    /// the `ceil(q·count)`-th smallest sample. Exact for values below
+    /// `2·SUB_BUCKETS`; within `1/SUB_BUCKETS` relative error above. `q` is
+    /// clamped to `[0, 1]`; returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                // Midpoint representative, clamped to observed extremes so
+                // single-bucket distributions report sensible values.
+                let rep = bucket_lower(b) + (bucket_width(b) - 1) / 2;
+                return Some(rep.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max) // unreachable in practice: counts always cover rank
+    }
+
+    /// `(count, sum, min, max, mean, p50, p90, p99)` in one struct.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min().unwrap_or(0),
+            max: self.max().unwrap_or(0),
+            mean: self.mean().unwrap_or(0.0),
+            p50: self.quantile(0.50).unwrap_or(0),
+            p90: self.quantile(0.90).unwrap_or(0),
+            p99: self.quantile(0.99).unwrap_or(0),
+        }
+    }
+}
+
+/// Point-in-time digest of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Recorded samples.
+    pub count: u64,
+    /// Sum of samples (same unit as the samples).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Median (nearest-rank, bucket representative).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_region_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3] {
+            h.record(v);
+        }
+        // nearest-rank: p50 -> rank 2 -> 2; p90 -> rank 3 -> 3; p1 -> rank 1 -> 1.
+        assert_eq!(h.quantile(0.50), Some(2));
+        assert_eq!(h.quantile(0.90), Some(3));
+        assert_eq!(h.quantile(0.01), Some(1));
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(3));
+    }
+
+    #[test]
+    fn single_sample_all_quantiles_equal_it() {
+        let mut h = Histogram::new();
+        h.record(1_000_000);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            // The bucket is approximate but min==max, so the clamp recovers
+            // the exact value.
+            let v = h.quantile(q).unwrap();
+            assert_eq!(v, 1_000_000, "q={q} gave {v}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        let s = h.summary();
+        assert_eq!((s.count, s.p50, s.max), (0, 0, 0));
+    }
+
+    #[test]
+    fn bucket_boundaries_are_consistent() {
+        // Every bucket's lower bound must map back to that bucket, and the
+        // value just below it to the previous bucket.
+        for b in 0..NUM_BUCKETS {
+            let lo = bucket_lower(b);
+            assert_eq!(bucket_index(lo), b, "lower bound of bucket {b}");
+            if lo > 0 {
+                assert_eq!(bucket_index(lo - 1), b - 1, "value below bucket {b}");
+            }
+            // Top of the bucket stays inside it. (`width - 1` first: the top
+            // bucket's exclusive bound is 2^64.)
+            let hi = lo + (bucket_width(b) - 1);
+            assert_eq!(bucket_index(hi), b, "upper value of bucket {b}");
+        }
+    }
+
+    #[test]
+    fn exact_through_twice_sub_buckets() {
+        // Sub-bucket width stays 1 through the first log-linear octave, so
+        // everything below 2*SUB_BUCKETS is exact.
+        for v in 0..2 * SUB_BUCKETS {
+            let b = bucket_index(v);
+            assert_eq!(bucket_lower(b), v);
+            assert_eq!(bucket_width(b), 1);
+        }
+        // ... and the next octave starts with width 2.
+        assert_eq!(bucket_width(bucket_index(2 * SUB_BUCKETS)), 2);
+    }
+
+    #[test]
+    fn quantile_relative_error_is_bounded() {
+        let mut h = Histogram::new();
+        for v in [123u64, 4_567, 89_012, 3_456_789, 123_456_789] {
+            h.record(v);
+        }
+        let exact = [123u64, 4_567, 89_012, 3_456_789, 123_456_789];
+        for (i, &want) in exact.iter().enumerate() {
+            let q = (i + 1) as f64 / exact.len() as f64;
+            let got = h.quantile(q).unwrap() as f64;
+            let rel = (got - want as f64).abs() / want as f64;
+            assert!(rel <= 1.0 / SUB_BUCKETS as f64, "q={q}: {got} vs {want} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_in_one() {
+        let samples_a = [5u64, 900, 33, 1 << 40];
+        let samples_b = [17u64, 17, 123_456];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for &v in &samples_a {
+            a.record(v);
+            both.record(v);
+        }
+        for &v in &samples_b {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.sum(), both.sum());
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), both.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn extremes_clamp_representatives() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.quantile(0.25), Some(0));
+        // The top bucket's midpoint may exceed max; the clamp keeps it honest.
+        assert!(h.quantile(1.0).unwrap() <= u64::MAX);
+    }
+}

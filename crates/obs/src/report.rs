@@ -1,0 +1,302 @@
+//! Read-out sinks: a point-in-time [`Report`] snapshot renderable as a
+//! human-readable table or a JSON document.
+//!
+//! JSON is hand-rolled (this crate is dependency-light by design); the
+//! format is a stable three-section object:
+//!
+//! ```json
+//! {
+//!   "spans":    [{"name": "matmul", "calls": 12, "total_ns": 34,
+//!                 "mean_ns": 2.8, "max_ns": 9, "dims": {"rows": 96}}],
+//!   "counters": [{"name": "pool.par_regions", "value": 4}],
+//!   "histograms": [{"name": "serving.e2e_ns", "count": 7, "sum": 700,
+//!                   "min": 90, "max": 120, "mean": 100.0,
+//!                   "p50": 99, "p90": 118, "p99": 120}]
+//! }
+//! ```
+
+use crate::agg::SpanStat;
+use crate::hist::Summary;
+
+/// Aggregated wall-time/call-count row for one span name.
+#[derive(Debug, Clone)]
+pub struct SpanRow {
+    /// Span name as passed to [`crate::span!`].
+    pub name: String,
+    /// Completed calls.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds.
+    pub total_ns: u64,
+    /// Mean nanoseconds per call.
+    pub mean_ns: f64,
+    /// Slowest single call.
+    pub max_ns: u64,
+    /// Per-dimension value sums (e.g. total rows processed).
+    pub dims: Vec<(String, u64)>,
+}
+
+impl SpanRow {
+    pub(crate) fn from_stat(name: &str, stat: &SpanStat) -> Self {
+        Self {
+            name: name.to_string(),
+            calls: stat.calls,
+            total_ns: stat.total_ns,
+            mean_ns: stat.total_ns as f64 / stat.calls.max(1) as f64,
+            max_ns: stat.max_ns,
+            dims: stat.dims.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
+        }
+    }
+}
+
+/// Digest row for one histogram.
+#[derive(Debug, Clone)]
+pub struct HistRow {
+    /// Histogram name.
+    pub name: String,
+    /// Count / sum / extremes / mean / p50 / p90 / p99.
+    pub summary: Summary,
+}
+
+/// A point-in-time snapshot of all recorded telemetry, ordered by name.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Per-op span aggregates.
+    pub spans: Vec<SpanRow>,
+    /// Monotonic counters.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram digests.
+    pub hists: Vec<HistRow>,
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number (`null` for non-finite values).
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl Report {
+    /// `true` when nothing was recorded (e.g. telemetry compiled out).
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty() && self.hists.is_empty()
+    }
+
+    /// Render the three aggregate tables as aligned, human-readable text.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("(no telemetry recorded)\n");
+            return out;
+        }
+        if !self.spans.is_empty() {
+            out.push_str("== spans ==\n");
+            let mut rows: Vec<[String; 5]> = vec![[
+                "name".into(),
+                "calls".into(),
+                "total".into(),
+                "mean".into(),
+                "max".into(),
+            ]];
+            for s in &self.spans {
+                rows.push([
+                    s.name.clone(),
+                    s.calls.to_string(),
+                    fmt_ns(s.total_ns as f64),
+                    fmt_ns(s.mean_ns),
+                    fmt_ns(s.max_ns as f64),
+                ]);
+            }
+            let mut widths = [0usize; 5];
+            for row in &rows {
+                for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                    *w = (*w).max(cell.chars().count());
+                }
+            }
+            for row in &rows {
+                for (i, (cell, w)) in row.iter().zip(widths.iter()).enumerate() {
+                    let pad = w - cell.chars().count();
+                    if i == 0 {
+                        out.push_str(&format!("  {cell}{} ", " ".repeat(pad)));
+                    } else {
+                        out.push_str(&format!(" {}{cell} ", " ".repeat(pad)));
+                    }
+                }
+                out.push('\n');
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("== counters ==\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name} = {v}\n"));
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str("== histograms ==\n");
+            for h in &self.hists {
+                let s = &h.summary;
+                out.push_str(&format!(
+                    "  {}  n={}  mean={}  p50={}  p90={}  p99={}  max={}\n",
+                    h.name,
+                    s.count,
+                    fmt_ns(s.mean),
+                    fmt_ns(s.p50 as f64),
+                    fmt_ns(s.p90 as f64),
+                    fmt_ns(s.p99 as f64),
+                    fmt_ns(s.max as f64),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Serialize as a stable JSON document (see the module docs for the
+    /// schema).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let dims = s
+                .dims
+                .iter()
+                .map(|(n, v)| format!("\"{}\": {v}", json_escape(n)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"calls\": {}, \"total_ns\": {}, \
+                 \"mean_ns\": {}, \"max_ns\": {}, \"dims\": {{{dims}}}}}",
+                json_escape(&s.name),
+                s.calls,
+                s.total_ns,
+                json_f64(s.mean_ns),
+                s.max_ns,
+            ));
+        }
+        out.push_str("\n  ],\n  \"counters\": [");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {{\"name\": \"{}\", \"value\": {v}}}", json_escape(name)));
+        }
+        out.push_str("\n  ],\n  \"histograms\": [");
+        for (i, h) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let s = &h.summary;
+            out.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"count\": {}, \"sum\": {}, \"min\": {}, \
+                 \"max\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                json_escape(&h.name),
+                s.count,
+                s.sum,
+                s.min,
+                s.max,
+                json_f64(s.mean),
+                s.p50,
+                s.p90,
+                s.p99,
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    fn sample_report() -> Report {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        Report {
+            spans: vec![SpanRow {
+                name: "matmul".into(),
+                calls: 2,
+                total_ns: 300,
+                mean_ns: 150.0,
+                max_ns: 200,
+                dims: vec![("rows".into(), 96)],
+            }],
+            counters: vec![("pool.par_regions".into(), 4)],
+            hists: vec![HistRow { name: "serve.e2e_ns".into(), summary: h.summary() }],
+        }
+    }
+
+    #[test]
+    fn table_mentions_every_section_and_name() {
+        let t = sample_report().to_table();
+        for needle in ["== spans ==", "matmul", "== counters ==", "pool.par_regions", "serve.e2e_ns"]
+        {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn json_is_stable_and_balanced() {
+        let j = sample_report().to_json();
+        assert!(j.contains("\"spans\""));
+        assert!(j.contains("\"calls\": 2"));
+        assert!(j.contains("\"rows\": 96"));
+        assert!(j.contains("\"p50\": 20"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn empty_report_renders_placeholder() {
+        let r = Report::default();
+        assert!(r.is_empty());
+        assert!(r.to_table().contains("no telemetry"));
+        assert!(r.to_json().contains("\"spans\": [\n  ]"));
+    }
+
+    #[test]
+    fn escaping_handles_quotes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn ns_formatting_picks_unit() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.500 µs");
+        assert_eq!(fmt_ns(2_000_000.0), "2.000 ms");
+        assert_eq!(fmt_ns(3.2e9), "3.200 s");
+    }
+}

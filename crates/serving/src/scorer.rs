@@ -23,13 +23,20 @@ pub fn score_candidates(
     if candidates.is_empty() {
         return Vec::new();
     }
-    let mut ds = Dataset::empty(world.config.clone());
-    for &iid in candidates {
-        let scoring_ctx = Context { position: 0, ..ctx };
-        append_example(&mut ds, world, uid, iid, scoring_ctx, 0, false, 0.0, history, counters);
-    }
-    let indices: Vec<usize> = (0..candidates.len()).collect();
-    let batch = ds.batch(&indices);
+    // Per-stage and end-to-end latency distributions (`serving.*_ns`
+    // histograms, p50/p90/p99 via `basm_obs::report`).
+    let _e2e = basm_obs::hist_timer("serving.e2e_ns");
+    let batch = {
+        let _t = basm_obs::hist_timer("serving.assemble_ns");
+        let mut ds = Dataset::empty(world.config.clone());
+        for &iid in candidates {
+            let scoring_ctx = Context { position: 0, ..ctx };
+            append_example(&mut ds, world, uid, iid, scoring_ctx, 0, false, 0.0, history, counters);
+        }
+        let indices: Vec<usize> = (0..candidates.len()).collect();
+        ds.batch(&indices)
+    };
+    let _t = basm_obs::hist_timer("serving.predict_ns");
     predict(model, &batch)
 }
 
@@ -64,6 +71,7 @@ where
     if n == 0 {
         return Vec::new();
     }
+    let _span = basm_obs::span!("serving.score_sessions", sessions = n);
     let threads = if pool::in_pool() { 1 } else { pool::num_threads().min(n) };
     let chunks: Vec<&[SessionRequest]> = requests.chunks(n.div_ceil(threads)).collect();
     let parts = pool::par_map(&chunks, |chunk| {

@@ -23,6 +23,7 @@ impl Graph {
             self.nodes[loss.0].requires_grad,
             "backward: loss does not depend on any gradient-requiring leaf"
         );
+        let _span = basm_obs::span!("tensor.backward", nodes = self.nodes.len());
         self.accum_grad(loss.0, Tensor::scalar(1.0));
 
         for i in (0..=loss.0).rev() {

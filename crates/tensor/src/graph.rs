@@ -591,6 +591,7 @@ impl Graph {
         let m = sv.rows();
         assert_eq!(sv.cols(), t * d, "seq_weighted_sum: seq cols {} != {t}*{d}", sv.cols());
         assert_eq!(wv.shape(), (m, t), "seq_weighted_sum: weights must be [{m},{t}]");
+        let _span = basm_obs::span!("tensor.seq_weighted_sum", rows = m, t, d);
         let mut out = Tensor::zeros(m, d);
         let threads = pool::threads_for(m, m * t * d);
         pool::par_row_blocks(out.data_mut(), d, threads, |i0, block| {
@@ -628,6 +629,7 @@ impl Graph {
             "meta_linear: w must be [{m},{}]",
             out_dim * in_dim
         );
+        let _span = basm_obs::span!("tensor.meta_linear", rows = m, out_dim, in_dim);
         let mut out = Tensor::zeros(m, out_dim);
         let threads = pool::threads_for(m, m * out_dim * in_dim);
         pool::par_row_blocks(out.data_mut(), out_dim, threads, |i0, block| {
@@ -664,6 +666,7 @@ impl Graph {
             "meta_linear_in_major: w must be [{m},{}]",
             out_dim * in_dim
         );
+        let _span = basm_obs::span!("tensor.meta_linear_in_major", rows = m, out_dim, in_dim);
         let mut out = Tensor::zeros(m, out_dim);
         let threads = pool::threads_for(m, m * out_dim * in_dim);
         pool::par_row_blocks(out.data_mut(), out_dim, threads, |i0, block| {

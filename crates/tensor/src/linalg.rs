@@ -56,6 +56,7 @@ pub fn matmul_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) {
     let (m, k) = a.shape();
     let (_, n) = b.shape();
     debug_assert_eq!(c.shape(), (m, n));
+    let _span = basm_obs::span!("tensor.matmul", rows = m, inner = k, cols = n);
     let ad = a.data();
     let bd = b.data();
     let threads = pool::threads_for(m, m * k * n);
@@ -74,6 +75,7 @@ pub fn matmul_acc_sparse(a: &Tensor, b: &Tensor, c: &mut Tensor) {
     let (m, k) = a.shape();
     let (_, n) = b.shape();
     debug_assert_eq!(c.shape(), (m, n));
+    let _span = basm_obs::span!("tensor.matmul_sparse", rows = m, inner = k, cols = n);
     let ad = a.data();
     let bd = b.data();
     let threads = pool::threads_for(m, m * k * n);
@@ -99,6 +101,7 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = a.shape();
     let (k2, n) = b.shape();
     assert_eq!(k, k2, "matmul_at_b: outer dims {k} vs {k2}");
+    let _span = basm_obs::span!("tensor.matmul_at_b", rows = m, inner = k, cols = n);
     let mut c = Tensor::zeros(m, n);
     let ad = a.data();
     let bd = b.data();
@@ -127,6 +130,7 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = a.shape();
     let (n, k2) = b.shape();
     assert_eq!(k, k2, "matmul_a_bt: inner dims {k} vs {k2}");
+    let _span = basm_obs::span!("tensor.matmul_a_bt", rows = m, inner = k, cols = n);
     let mut c = Tensor::zeros(m, n);
     let ad = a.data();
     let bd = b.data();

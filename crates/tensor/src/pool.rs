@@ -19,6 +19,22 @@
 //!
 //! Thread count resolution order: [`set_threads`] override (used by tests
 //! and benchmarks) → `BASM_THREADS` env var → available parallelism.
+//!
+//! When the `obs` feature is enabled the helpers report pool occupancy to
+//! `basm-obs`: `pool.par_regions` / `pool.serial_regions` count how many
+//! regions actually fanned out versus fell back to the serial path, and
+//! `pool.par_threads` sums the threads granted to parallel regions (so
+//! `par_threads / par_regions` is the mean fan-out). Telemetry never changes
+//! what is computed — see DESIGN.md §7.
+//!
+//! ```
+//! use basm_tensor::pool;
+//!
+//! // Deterministic parallel map: output order always matches input order.
+//! let items: Vec<u64> = (0..100).collect();
+//! let squares = pool::par_map(&items, |&x| x * x);
+//! assert_eq!(squares[7], 49);
+//! ```
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -104,6 +120,18 @@ fn enter_pool<R>(f: impl FnOnce() -> R) -> R {
 /// `work` scalar operations should use. Returns 1 (serial) when nested in a
 /// pool worker, when threads are capped at 1, or when `work` is under the
 /// threshold.
+///
+/// ```
+/// use basm_tensor::pool;
+///
+/// pool::set_threads(4);
+/// // Tiny problems stay serial; big ones get up to the thread budget,
+/// // capped by the number of independent output rows.
+/// assert_eq!(pool::threads_for(1024, 16), 1);
+/// assert_eq!(pool::threads_for(1024, 1 << 24), 4);
+/// assert_eq!(pool::threads_for(2, 1 << 24), 2);
+/// pool::set_threads(0); // back to the BASM_THREADS / core-count default
+/// ```
 pub fn threads_for(units: usize, work: usize) -> usize {
     if units <= 1 || in_pool() || work < min_work() {
         return 1;
@@ -119,6 +147,19 @@ pub fn threads_for(units: usize, work: usize) -> usize {
 /// impossible by construction; because the blocks are processed by the same
 /// per-row code as the serial path, results are bitwise identical for any
 /// thread count.
+///
+/// ```
+/// use basm_tensor::pool;
+///
+/// // Fill a 6×2 row-major buffer with each row's index, on 3 threads.
+/// let mut out = vec![0.0f32; 6 * 2];
+/// pool::par_row_blocks(&mut out, 2, 3, |first_row, block| {
+///     for (i, row) in block.chunks_mut(2).enumerate() {
+///         row.fill((first_row + i) as f32);
+///     }
+/// });
+/// assert_eq!(out[2 * 5], 5.0);
+/// ```
 pub fn par_row_blocks<F>(out: &mut [f32], width: usize, threads: usize, f: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
@@ -126,10 +167,13 @@ where
     debug_assert!(width > 0 && out.len() % width == 0);
     let rows = out.len() / width;
     if threads <= 1 || rows <= 1 {
+        basm_obs::counter_add("pool.serial_regions", 1);
         f(0, out);
         return;
     }
     let threads = threads.min(rows);
+    basm_obs::counter_add("pool.par_regions", 1);
+    basm_obs::counter_add("pool.par_threads", threads as u64);
     let chunk_rows = rows.div_ceil(threads);
     std::thread::scope(|scope| {
         let f = &f;
@@ -137,7 +181,14 @@ where
         let first = blocks.next().expect("non-empty output");
         for (bi, block) in blocks.enumerate() {
             let first_row = (bi + 1) * chunk_rows;
-            scope.spawn(move || enter_pool(|| f(first_row, block)));
+            scope.spawn(move || {
+                enter_pool(|| f(first_row, block));
+                // Flush inside the closure: `scope` may return before a
+                // worker's TLS destructors (the merge-on-exit backstop) run,
+                // so an eager flush makes this region's telemetry visible to
+                // `basm_obs::report()` as soon as the region completes.
+                basm_obs::flush();
+            });
         }
         enter_pool(|| f(0, first));
     });
@@ -157,8 +208,11 @@ where
     let n = items.len();
     let threads = if in_pool() { 1 } else { num_threads().min(n.max(1)) };
     if threads <= 1 || n <= 1 {
+        basm_obs::counter_add("pool.serial_regions", 1);
         return items.iter().map(|item| f(item)).collect();
     }
+    basm_obs::counter_add("pool.par_regions", 1);
+    basm_obs::counter_add("pool.par_threads", threads as u64);
     let mut slots: Vec<Option<U>> = std::iter::repeat_with(|| None).take(n).collect();
     let chunk = n.div_ceil(threads);
     std::thread::scope(|scope| {
@@ -173,7 +227,11 @@ where
         let mut pairs = items.chunks(chunk).zip(slots.chunks_mut(chunk));
         let first = pairs.next().expect("non-empty input");
         for (chunk_items, chunk_slots) in pairs {
-            scope.spawn(move || run_chunk(chunk_items, chunk_slots));
+            scope.spawn(move || {
+                run_chunk(chunk_items, chunk_slots);
+                // See par_row_blocks: merge before the scope returns.
+                basm_obs::flush();
+            });
         }
         run_chunk(first.0, first.1);
     });

@@ -55,6 +55,17 @@ pub struct TrainOutcome {
     pub final_train_loss: f64,
 }
 
+/// Name of the [`basm_obs::jsonl`] stream the trainer writes per-step
+/// records to. Experiment binaries opt in with
+/// `basm_obs::jsonl::open_stream(TRAIN_LOG_STREAM, "results/train_log.jsonl")`;
+/// without that call (and the `obs` feature) training emits nothing.
+///
+/// Each step record carries `step`, `epoch`, `loss`, `lr`, `grad_norm`
+/// (post-clip global norm) and `examples_per_sec`; one final record with
+/// `"event": "summary"` closes the run (total steps, wall seconds, mean
+/// final-epoch loss, aggregate throughput).
+pub const TRAIN_LOG_STREAM: &str = "train";
+
 /// Train a model in place (no evaluation). Returns `(steps, mean loss of the
 /// final epoch)`.
 pub fn train(
@@ -62,16 +73,22 @@ pub fn train(
     ds: &Dataset,
     cfg: &TrainConfig,
 ) -> (u64, f64) {
+    let _span = basm_obs::span!("trainer.train", epochs = cfg.epochs, batch = cfg.batch_size);
     let train_idx = ds.train_indices();
     assert!(!train_idx.is_empty(), "no training examples");
+    // Resolved once: the stream can only be opened before training starts.
+    let log_steps = basm_obs::jsonl::stream_open(TRAIN_LOG_STREAM);
+    let run_start = Instant::now();
     let mut rng = Prng::seeded(cfg.seed ^ 0x7EA1_B00C);
     let mut opt = AdagradDecay::paper_default();
     let mut step: u64 = 0;
+    let mut examples: u64 = 0;
     let mut last_epoch_loss = 0.0f64;
-    for _epoch in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
         let mut epoch_loss = 0.0f64;
         let mut batches = 0usize;
         for chunk in ds.shuffled_batches(&train_idx, cfg.batch_size, &mut rng) {
+            let step_start = Instant::now();
             let batch = ds.batch(&chunk);
             let lr = cfg.schedule.at(step);
             let loss = train_step(model, &batch, &mut opt, lr, cfg.grad_clip);
@@ -79,10 +96,44 @@ pub fn train(
             epoch_loss += loss as f64;
             batches += 1;
             step += 1;
+            examples += chunk.len() as u64;
+            let step_secs = step_start.elapsed().as_secs_f64();
+            basm_obs::record_hist("trainer.step_ns", (step_secs * 1e9) as u64);
+            if log_steps {
+                // The gradient norm costs a pass over the dense params, so
+                // it is only computed when a sink is attached.
+                let grad_norm = model.params().grad_norm();
+                basm_obs::jsonl::emit(
+                    TRAIN_LOG_STREAM,
+                    &[
+                        ("step", step.into()),
+                        ("epoch", (epoch as u64).into()),
+                        ("loss", loss.into()),
+                        ("lr", lr.into()),
+                        ("grad_norm", grad_norm.into()),
+                        ("examples_per_sec", (chunk.len() as f64 / step_secs.max(1e-12)).into()),
+                    ],
+                );
+            }
         }
         last_epoch_loss = epoch_loss / batches.max(1) as f64;
     }
     refresh_batch_norm(model, ds, &train_idx, cfg, &mut rng);
+    if log_steps {
+        let wall_secs = run_start.elapsed().as_secs_f64();
+        basm_obs::jsonl::emit(
+            TRAIN_LOG_STREAM,
+            &[
+                ("event", "summary".into()),
+                ("model", model.name().into()),
+                ("steps", step.into()),
+                ("examples", examples.into()),
+                ("wall_secs", wall_secs.into()),
+                ("final_train_loss", last_epoch_loss.into()),
+                ("examples_per_sec", (examples as f64 / wall_secs.max(1e-12)).into()),
+            ],
+        );
+    }
     (step, last_epoch_loss)
 }
 
@@ -118,6 +169,7 @@ pub fn evaluate(
     indices: &[usize],
     batch_size: usize,
 ) -> EvalAccumulator {
+    let _span = basm_obs::span!("trainer.evaluate", examples = indices.len());
     let mut acc = EvalAccumulator::new();
     for chunk in indices.chunks(batch_size) {
         let batch = ds.batch(chunk);

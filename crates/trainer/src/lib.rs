@@ -11,6 +11,6 @@ pub mod online;
 pub mod repeat;
 
 pub use efficiency::{measure_efficiency, EfficiencyReport};
-pub use harness::{evaluate, train, train_and_evaluate, TrainConfig, TrainOutcome};
+pub use harness::{evaluate, train, train_and_evaluate, TrainConfig, TrainOutcome, TRAIN_LOG_STREAM};
 pub use online::{train_online, OnlineDay, OnlineOutcome};
 pub use repeat::{run_repeated, RepeatedOutcome};

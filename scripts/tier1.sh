@@ -3,6 +3,11 @@
 # once forced serial and once under 4 threads. The parallel execution
 # layer guarantees bitwise-identical results for any BASM_THREADS, so
 # both passes must be green (see DESIGN.md §6).
+#
+# The telemetry layer (DESIGN.md §7) adds three more gates: the suite must
+# stay green with `--features obs` under BASM_OBS=0 and BASM_OBS=1 (telemetry
+# is purely observational — no computed bit may change), rustdoc must build
+# without warnings, and every doctest must pass.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,5 +18,16 @@ for threads in 1 4; do
     echo "== tier1: cargo test (BASM_THREADS=$threads) =="
     BASM_THREADS=$threads cargo test -q --workspace
 done
+
+for obs in 0 1; do
+    echo "== tier1: cargo test --features obs (BASM_OBS=$obs) =="
+    BASM_OBS=$obs cargo test -q --workspace --features obs
+done
+
+echo "== tier1: cargo doc --no-deps (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
+
+echo "== tier1: cargo test --doc =="
+cargo test -q --doc --workspace
 
 echo "== tier1: OK =="
