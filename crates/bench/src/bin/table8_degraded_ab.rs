@@ -1,0 +1,216 @@
+//! **Table VIII** (beyond the paper): the Table VII A/B simulation replayed
+//! under injected serving faults, sweeping the per-hop fault rate over
+//! {0%, 1%, 5%, 20%}. Both arms degrade through the same ladder
+//! (retry → stale/empty history → city-popularity recall → statistics-prior
+//! ranker), so the sweep answers two questions the clean A/B cannot:
+//!
+//! * how much CTR/CTCVR the degradation ladder gives back as infrastructure
+//!   health decays, and
+//! * whether BASM's edge over the Base model survives a degraded pipeline
+//!   (it should shrink toward zero as faults push both arms onto the shared
+//!   statistics-prior rung).
+//!
+//! Build with both robustness features to get the obs counters in the JSON:
+//!
+//! ```sh
+//! cargo run --release --features faults,obs --bin table8_degraded_ab
+//! ```
+//!
+//! Without `obs` the experiment still runs but the retry/fallback/breach
+//! counters come out empty.
+
+use basm_baselines::build_model;
+use basm_bench::{format_table, BenchEnv};
+use basm_core::{load_model, save_model, CtrModel};
+use basm_faults::{FaultInjector, FaultProfile};
+use basm_serving::{run_ab_test, AbConfig, ServingPipeline};
+use basm_trainer::{train, TrainConfig};
+use serde::Serialize;
+
+/// One arm's outcome at one fault rate.
+#[derive(Serialize)]
+struct ArmStats {
+    exposures: u64,
+    clicks: u64,
+    orders: u64,
+    ctr: f64,
+    ctcvr: f64,
+}
+
+/// One sweep point.
+#[derive(Serialize)]
+struct RateRow {
+    fault_rate: f64,
+    base: ArmStats,
+    basm: ArmStats,
+    relative_ctr_improvement: f64,
+    /// Every `serving.*` counter basm-obs recorded during this run:
+    /// retries, per-class fault hits, per-rung fallbacks, deadline breaches,
+    /// recovered locks. Empty when the binary was built without `obs`.
+    serving_counters: Vec<(String, u64)>,
+}
+
+#[derive(Serialize)]
+struct Table8 {
+    rates: Vec<RateRow>,
+}
+
+fn arm_stats(pipe: &ServingPipeline, exposures: u64, clicks: u64) -> ArmStats {
+    let orders: u64 = pipe
+        .features
+        .with_counters(|c| c.user_orders.iter().map(|&o| o as u64).sum());
+    ArmStats {
+        exposures,
+        clicks,
+        orders,
+        ctr: if exposures == 0 { 0.0 } else { clicks as f64 / exposures as f64 },
+        ctcvr: if exposures == 0 { 0.0 } else { orders as f64 / exposures as f64 },
+    }
+}
+
+fn restore(name: &str, cfg: &basm_data::WorldConfig, bytes: &[u8]) -> Box<dyn CtrModel> {
+    let mut model = build_model(name, cfg, 1);
+    load_model(model.as_mut(), bytes).expect("restore trained checkpoint");
+    model
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let data = env.eleme();
+    let ds = &data.dataset;
+    let world = &data.world;
+
+    // Train each arm once; every sweep point restarts from the same
+    // checkpoint so rates differ only in the injected faults.
+    let mut base = build_model("Base", &ds.config, 1);
+    let mut basm = build_model("BASM", &ds.config, 1);
+    let tc = TrainConfig::default_for(ds, env.epochs, env.batch, 1);
+    eprintln!("[table8] training Base...");
+    train(base.as_mut(), ds, &tc);
+    eprintln!("[table8] training BASM...");
+    train(basm.as_mut(), ds, &tc);
+    let base_ckpt = save_model(base.as_mut());
+    let basm_ckpt = save_model(basm.as_mut());
+    drop(base);
+    drop(basm);
+
+    let ab = AbConfig {
+        days: 7,
+        sessions_per_day: if env.fast { 200 } else { 1_000 },
+        recall_pool: 24,
+        top_k: ds.config.candidates_per_session,
+        seed: 20_220_801, // same traffic stream as table7
+    };
+
+    // The degradation counters are the point of this table: record them even
+    // when the user forgot BASM_OBS=1 (no-op without the `obs` feature).
+    basm_obs::set_enabled(Some(true));
+
+    let mut rows = Vec::new();
+    for (i, &rate) in [0.0f64, 0.01, 0.05, 0.20].iter().enumerate() {
+        let mut base_pipe = ServingPipeline::new(
+            world,
+            restore("Base", &ds.config, &base_ckpt),
+            ab.recall_pool,
+            ab.top_k,
+        );
+        let mut basm_pipe = ServingPipeline::new(
+            world,
+            restore("BASM", &ds.config, &basm_ckpt),
+            ab.recall_pool,
+            ab.top_k,
+        );
+        // Explicit injectors (rate 0 → none at all) so the sweep is immune
+        // to whatever BASM_FAULTS happens to be set in the environment.
+        let inject = |arm_seed: u64| {
+            (rate > 0.0)
+                .then(|| FaultInjector::new(FaultProfile::uniform(rate), arm_seed))
+        };
+        base_pipe.set_faults(inject(1_000 + i as u64));
+        basm_pipe.set_faults(inject(2_000 + i as u64));
+
+        basm_obs::reset();
+        eprintln!(
+            "[table8] fault rate {:.0}%: {}-day A/B with {} sessions/day...",
+            rate * 100.0,
+            ab.days,
+            ab.sessions_per_day
+        );
+        let result = run_ab_test(world, &mut base_pipe, &mut basm_pipe, &ab);
+
+        let totals = |f: fn(&basm_serving::DayResult) -> basm_serving::Tally| {
+            result.days.iter().map(f).fold((0u64, 0u64), |(e, c), t| {
+                (e + t.exposures, c + t.clicks)
+            })
+        };
+        let (be, bc) = totals(|d| d.base);
+        let (te, tc) = totals(|d| d.treatment);
+        let (_, _, imp) = result.overall();
+        let serving_counters: Vec<(String, u64)> = basm_obs::report()
+            .counters
+            .into_iter()
+            .filter(|(name, _)| name.starts_with("serving."))
+            .collect();
+        rows.push(RateRow {
+            fault_rate: rate,
+            base: arm_stats(&base_pipe, be, bc),
+            basm: arm_stats(&basm_pipe, te, tc),
+            relative_ctr_improvement: imp,
+            serving_counters,
+        });
+    }
+    basm_obs::set_enabled(None);
+
+    let counter = |row: &RateRow, name: &str| -> u64 {
+        row.serving_counters
+            .iter()
+            .filter(|(n, _)| n == name || n.starts_with(&format!("{name}.")))
+            .map(|(_, v)| v)
+            .sum()
+    };
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}%", r.fault_rate * 100.0),
+                format!("{:.2}", r.base.ctr * 100.0),
+                format!("{:.2}", r.basm.ctr * 100.0),
+                format!("{:.2}", r.base.ctcvr * 100.0),
+                format!("{:.2}", r.basm.ctcvr * 100.0),
+                format!("{:+.2}%", r.relative_ctr_improvement * 100.0),
+                counter(r, "serving.retries").to_string(),
+                counter(r, "serving.fallback").to_string(),
+                counter(r, "serving.deadline_breach").to_string(),
+            ]
+        })
+        .collect();
+    let mut out = String::from(
+        "Table VIII — A/B under injected serving faults (degradation ladder active)\n",
+    );
+    out.push_str(&format_table(
+        &[
+            "Fault rate",
+            "Base CTR (%)",
+            "BASM CTR (%)",
+            "Base CTCVR (%)",
+            "BASM CTCVR (%)",
+            "Rel. CTR imp.",
+            "Retries",
+            "Fallbacks",
+            "Breaches",
+        ],
+        &table_rows,
+    ));
+    let (min_imp, max_imp) = rows.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), r| {
+        (lo.min(r.relative_ctr_improvement), hi.max(r.relative_ctr_improvement))
+    });
+    out.push_str(&format!(
+        "\nshape: the ladder keeps both arms serving at every fault rate — no \
+         crashes, no empty responses; relative CTR improvement spans \
+         {:+.2}%…{:+.2}% across the sweep.\n",
+        min_imp * 100.0,
+        max_imp * 100.0
+    ));
+    env.emit("table8_degraded_ab.txt", &out);
+    env.write_json("table8_degraded_ab.json", &Table8 { rates: rows });
+}

@@ -4,36 +4,110 @@
 //! batch-norm layer's running statistics. Models holding *auxiliary*
 //! embedding stores (Wide&Deep's wide tables) round-trip only their primary
 //! store through these helpers.
+//!
+//! ## Integrity envelope
+//!
+//! The AOP → RTP handoff crosses machines and object stores, where truncated
+//! uploads and bit flips are a when, not an if — and a silently corrupted
+//! weight tensor serves *wrong scores*, not an error. [`save_model`]
+//! therefore wraps the payload in an envelope — magic, format version,
+//! payload length, then a CRC32 (IEEE) trailer over the payload — and
+//! [`load_model`] refuses anything that fails those checks with a typed
+//! [`CheckpointError`] before a single byte reaches the model.
 
 use crate::model::CtrModel;
 use basm_tensor::serialize::{
     append_embeddings, begin_checkpoint, CheckpointError, ParsedCheckpoint,
 };
 
-/// Serialize a model: dense parameters, embedding tables, and batch-norm
-/// running statistics (without which inference-mode outputs would not
-/// survive the round trip). Stores are borrowed one at a time.
-pub fn save_model(model: &mut dyn CtrModel) -> Vec<u8> {
-    let mut buf = begin_checkpoint(model.params());
-    append_embeddings(&mut buf, &model.embedder().emb);
-    let mut out = buf.freeze().to_vec();
-    // BN section: count, then (mean, var) per layer in model order.
-    let bns = model.bn_layers();
-    out.extend_from_slice(&(bns.len() as u32).to_le_bytes());
-    for bn in bns {
-        out.extend_from_slice(&(bn.dim() as u32).to_le_bytes());
-        for &v in bn.running_mean() {
-            out.extend_from_slice(&v.to_le_bytes());
-        }
-        for &v in bn.running_var() {
-            out.extend_from_slice(&v.to_le_bytes());
+/// Envelope magic: distinguishes the integrity-wrapped format from the bare
+/// section stream (`b"BASMCKPT"`) that preceded it.
+const ENVELOPE_MAGIC: &[u8; 8] = b"BASMSAFE";
+/// Envelope format version.
+const ENVELOPE_VERSION: u32 = 1;
+
+/// CRC32 (IEEE 802.3, the zlib/PNG polynomial), bitwise implementation —
+/// checkpoint I/O is cold, so simplicity beats a lookup table.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
         }
     }
+    !crc
+}
+
+/// Wrap a payload in the integrity envelope.
+fn seal(payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    out.extend_from_slice(ENVELOPE_MAGIC);
+    out.extend_from_slice(&ENVELOPE_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    let crc = crc32(&payload);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc.to_le_bytes());
     out
 }
 
+/// Verify the envelope and return the payload slice.
+fn unseal(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
+    if bytes.len() < 20 {
+        return Err(CheckpointError::Truncated);
+    }
+    if &bytes[..8] != ENVELOPE_MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != ENVELOPE_VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+    let payload =
+        bytes.get(20..20 + len).ok_or(CheckpointError::Truncated)?;
+    let trailer = bytes
+        .get(20 + len..20 + len + 4)
+        .ok_or(CheckpointError::Truncated)?;
+    let stored = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
+    let actual = crc32(payload);
+    if stored != actual {
+        return Err(CheckpointError::ChecksumMismatch { stored, actual });
+    }
+    Ok(payload)
+}
+
+/// Serialize a model: dense parameters, embedding tables, and batch-norm
+/// running statistics (without which inference-mode outputs would not
+/// survive the round trip). Stores are borrowed one at a time. The result
+/// carries the integrity envelope (module docs); only [`load_model`] reads
+/// it back.
+pub fn save_model(model: &mut dyn CtrModel) -> Vec<u8> {
+    let mut buf = begin_checkpoint(model.params());
+    append_embeddings(&mut buf, &model.embedder().emb);
+    let mut payload = buf.freeze().to_vec();
+    // BN section: count, then (mean, var) per layer in model order.
+    let bns = model.bn_layers();
+    payload.extend_from_slice(&(bns.len() as u32).to_le_bytes());
+    for bn in bns {
+        payload.extend_from_slice(&(bn.dim() as u32).to_le_bytes());
+        for &v in bn.running_mean() {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in bn.running_var() {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    seal(payload)
+}
+
 /// Restore a model from checkpoint bytes (same architecture required).
+/// Verifies the integrity envelope first: truncated or bit-flipped
+/// checkpoints are rejected with [`CheckpointError::Truncated`] /
+/// [`CheckpointError::ChecksumMismatch`] before any state is touched.
 pub fn load_model(model: &mut dyn CtrModel, bytes: &[u8]) -> Result<(), CheckpointError> {
+    let bytes = unseal(bytes)?;
     let parsed = ParsedCheckpoint::parse(bytes)?;
     let consumed = parsed.consumed();
     parsed.apply_params(model.params())?;
@@ -141,6 +215,75 @@ mod tests {
         load_model_file(&mut fresh, &path).unwrap();
         assert_eq!(predict(&mut fresh, &batch), expected);
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_rejected() {
+        let cfg = WorldConfig::tiny();
+        let mut model = Basm::new(&cfg, BasmConfig::default());
+        let bytes = save_model(&mut model);
+
+        let mut fresh = Basm::new(&cfg, BasmConfig { seed: 7, ..BasmConfig::default() });
+        // Cut anywhere: mid-envelope-header, mid-payload, or just the CRC
+        // trailer — all must fail loudly, never half-apply.
+        for cut in [0, 10, bytes.len() / 2, bytes.len() - 1] {
+            let err = load_model(&mut fresh, &bytes[..cut])
+                .expect_err("truncated checkpoint must not load");
+            assert_eq!(err, CheckpointError::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flipped_checkpoint_is_rejected() {
+        let cfg = WorldConfig::tiny();
+        let data = generate_dataset(&cfg);
+        let batch = data.dataset.batch(&[0, 1, 2]);
+        let mut model = Basm::new(&cfg, BasmConfig::default());
+        let bytes = save_model(&mut model);
+
+        let mut fresh = Basm::new(&cfg, BasmConfig { seed: 7, ..BasmConfig::default() });
+        let before = predict(&mut fresh, &batch);
+        // Flip one bit in the payload (past the 20-byte envelope header):
+        // without the CRC this would load fine and silently corrupt a weight.
+        for at in [20, bytes.len() / 2, bytes.len() - 5] {
+            let mut corrupt = bytes.clone();
+            corrupt[at] ^= 0x10;
+            let err = load_model(&mut fresh, &corrupt)
+                .expect_err("bit-flipped checkpoint must not load");
+            assert!(
+                matches!(err, CheckpointError::ChecksumMismatch { .. }),
+                "flip at {at}: {err}"
+            );
+        }
+        // A corrupt trailer bit reports as a mismatch too.
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x01;
+        assert!(matches!(
+            load_model(&mut fresh, &corrupt),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+        // The model was never touched by any failed load.
+        assert_eq!(predict(&mut fresh, &batch), before);
+        // And the pristine bytes still load.
+        load_model(&mut fresh, &bytes).unwrap();
+    }
+
+    #[test]
+    fn non_checkpoint_bytes_are_rejected() {
+        let cfg = WorldConfig::tiny();
+        let mut model = Basm::new(&cfg, BasmConfig::default());
+        assert_eq!(
+            load_model(&mut model, b"definitely not a checkpoint at all"),
+            Err(CheckpointError::BadMagic)
+        );
     }
 
     #[test]

@@ -67,9 +67,26 @@ pub trait CtrModel {
     }
 }
 
+/// What [`train_step_checked`] did with one batch.
+#[derive(Debug, Clone, Copy)]
+pub struct StepOutcome {
+    /// Batch BCE loss (may be non-finite when the step was skipped).
+    pub loss: f32,
+    /// Post-clip global gradient norm over the dense parameters. Reported
+    /// from the norm the clip already computed, so logging it is free.
+    pub grad_norm: f64,
+    /// Whether the optimizer update was applied. `false` means the loss or
+    /// gradient norm was NaN/Inf and both dense and sparse updates were
+    /// skipped — the model is exactly as it was before the call.
+    pub applied: bool,
+}
+
 /// One optimization step shared by every model: BCE loss (Eq. 19), backward,
 /// dense update through `opt`, sparse Adagrad update at the same learning
 /// rate. Returns the batch loss.
+///
+/// Panics in debug builds on a non-finite loss; use [`train_step_checked`]
+/// for loops that must survive poisoned batches.
 pub fn train_step(
     model: &mut dyn CtrModel,
     batch: &Batch,
@@ -77,21 +94,55 @@ pub fn train_step(
     lr: f32,
     grad_clip: Option<f64>,
 ) -> f32 {
+    let out = train_step_checked(model, batch, opt, lr, grad_clip);
+    debug_assert!(out.applied, "non-finite training step: loss {}", out.loss);
+    out.loss
+}
+
+/// [`train_step`] with a non-finite guard: if the batch loss or the global
+/// gradient norm comes back NaN/Inf, the update (dense *and* sparse) is
+/// skipped entirely and the pending sparse journals are discarded, leaving
+/// the model bit-for-bit unchanged. On healthy batches the update sequence
+/// is identical to the unchecked path, so training trajectories don't move.
+pub fn train_step_checked(
+    model: &mut dyn CtrModel,
+    batch: &Batch,
+    opt: &mut dyn Optimizer,
+    lr: f32,
+    grad_clip: Option<f64>,
+) -> StepOutcome {
+    // Poisoned labels would trip the graph's finite-forward invariant before
+    // a loss even exists; refuse the batch up front without touching state.
+    if !batch.labels.all_finite() {
+        return StepOutcome { loss: f32::NAN, grad_norm: f64::NAN, applied: false };
+    }
     let mut g = Graph::new();
     let fwd = model.forward(&mut g, batch, true);
     let labels = g.input(batch.labels.clone());
     let loss = g.bce_with_logits(fwd.logits, labels);
     g.backward(loss);
+    let loss_val = g.value(loss).item();
 
     let store = model.params();
     store.zero_grads();
     store.accumulate_grads(&g);
-    if let Some(max) = grad_clip {
-        store.clip_grad_norm(max);
+    let pre_norm = match grad_clip {
+        Some(max) => store.clip_grad_norm(max),
+        None => store.grad_norm(),
+    };
+    let grad_norm = match grad_clip {
+        Some(max) if pre_norm > max => max,
+        _ => pre_norm,
+    };
+    // The pre-clip norm is the honest health signal: clipping an infinite
+    // norm scales every gradient to zero, which would look "finite" after.
+    if !loss_val.is_finite() || !pre_norm.is_finite() {
+        model.clear_journals();
+        return StepOutcome { loss: loss_val, grad_norm: pre_norm, applied: false };
     }
     opt.step(store, lr);
     model.apply_sparse_grads(&g, lr);
-    g.value(loss).item()
+    StepOutcome { loss: loss_val, grad_norm, applied: true }
 }
 
 /// Inference: predicted click probabilities for a batch.

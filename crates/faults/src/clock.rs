@@ -1,0 +1,52 @@
+//! A simulated monotonic clock.
+
+/// Deterministic nanosecond clock for the serving simulator.
+///
+/// Real deadline enforcement reads a wall clock; the reproduction cannot,
+/// because wall time is nondeterministic and would make fault schedules and
+/// the degraded A/B artifact unreproducible. Instead every hop *charges* its
+/// simulated cost here (nominal latency, or the timeout cost of a failed
+/// call), and deadline budgets compare against [`SimClock::now_ns`].
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now_ns: u64,
+}
+
+impl SimClock {
+    /// A clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in nanoseconds since clock start.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Advance the clock by `ns` (saturating).
+    pub fn advance(&mut self, ns: u64) {
+        self.now_ns = self.now_ns.saturating_add(ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(5);
+        c.advance(7);
+        assert_eq!(c.now_ns(), 12);
+    }
+
+    #[test]
+    fn saturates_instead_of_wrapping() {
+        let mut c = SimClock::new();
+        c.advance(u64::MAX);
+        c.advance(1);
+        assert_eq!(c.now_ns(), u64::MAX);
+    }
+}

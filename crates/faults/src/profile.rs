@@ -1,0 +1,168 @@
+//! Per-hop fault rates and the simulated latency cost model.
+
+use serde::{Deserialize, Serialize};
+
+const MS: u64 = 1_000_000;
+
+/// Fault rates per serving hop plus the simulated cost model.
+///
+/// Rates are probabilities in `[0, 1]`, drawn independently per hop attempt
+/// by [`crate::FaultInjector`]. Within one hop the fault classes are
+/// mutually exclusive (a feature fetch either times out, returns stale, or
+/// succeeds), so the two rates of a hop should sum to at most 1 — rates are
+/// clamped at draw time if they don't.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultProfile {
+    /// Feature-server fetch exceeds its per-call timeout (retryable).
+    pub feature_timeout: f64,
+    /// Feature-server read lands on a lagging replica: the newest events of
+    /// the behavior sequence are missing (non-retryable, served as-is).
+    pub feature_stale: f64,
+    /// LBS recall returns no candidates (retryable).
+    pub recall_empty: f64,
+    /// LBS recall returns only part of the candidate pool (non-retryable,
+    /// served as-is).
+    pub recall_partial: f64,
+    /// RTP scorer returns an error (retryable).
+    pub scorer_error: f64,
+    /// RTP scorer stalls: the call succeeds but burns
+    /// [`FaultProfile::hop_timeout_ns`] of the deadline budget first.
+    pub scorer_stall: f64,
+    /// Nominal simulated cost of a feature-server fetch.
+    pub feature_cost_ns: u64,
+    /// Nominal simulated cost of a recall call.
+    pub recall_cost_ns: u64,
+    /// Nominal simulated cost of a scorer call.
+    pub scorer_cost_ns: u64,
+    /// Simulated cost of a timed-out or stalled call: the caller waits this
+    /// long before the failure is observable.
+    pub hop_timeout_ns: u64,
+}
+
+impl FaultProfile {
+    /// The all-zero profile: never injects, nominal costs only.
+    pub fn zero() -> Self {
+        Self::uniform(0.0)
+    }
+
+    /// Every fault class at the same `rate`, with the default cost model
+    /// (2 ms feature fetch, 3 ms recall, 10 ms scoring, 40 ms hop timeout).
+    pub fn uniform(rate: f64) -> Self {
+        Self {
+            feature_timeout: rate,
+            feature_stale: rate,
+            recall_empty: rate,
+            recall_partial: rate,
+            scorer_error: rate,
+            scorer_stall: rate,
+            feature_cost_ns: 2 * MS,
+            recall_cost_ns: 3 * MS,
+            scorer_cost_ns: 10 * MS,
+            hop_timeout_ns: 40 * MS,
+        }
+    }
+
+    /// Largest configured fault rate (0 means the profile never injects).
+    pub fn max_rate(&self) -> f64 {
+        [
+            self.feature_timeout,
+            self.feature_stale,
+            self.recall_empty,
+            self.recall_partial,
+            self.scorer_error,
+            self.scorer_stall,
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
+    }
+
+    /// Parse the `BASM_FAULTS` environment variable. Returns `None` when the
+    /// variable is unset, `0`/`0.0`/`off`, or unparseable (fail-safe: a typo
+    /// must not silently fault production-shaped runs).
+    pub fn from_env() -> Option<Self> {
+        Self::parse(&std::env::var("BASM_FAULTS").ok()?)
+    }
+
+    /// Parse a profile string: a single uniform rate (`"0.05"`) or a comma
+    /// list of `class=rate` pairs (`"feature_timeout=0.2,scorer_stall=0.1"`).
+    pub fn parse(spec: &str) -> Option<Self> {
+        let spec = spec.trim();
+        if spec.is_empty() || spec.eq_ignore_ascii_case("off") {
+            return None;
+        }
+        if let Ok(rate) = spec.parse::<f64>() {
+            if !(rate > 0.0) {
+                return None;
+            }
+            return Some(Self::uniform(rate.min(1.0)));
+        }
+        let mut p = Self::zero();
+        for pair in spec.split(',') {
+            let (key, val) = pair.split_once('=')?;
+            let rate: f64 = val.trim().parse().ok()?;
+            let rate = rate.clamp(0.0, 1.0);
+            match key.trim() {
+                "feature_timeout" => p.feature_timeout = rate,
+                "feature_stale" => p.feature_stale = rate,
+                "recall_empty" => p.recall_empty = rate,
+                "recall_partial" => p.recall_partial = rate,
+                "scorer_error" => p.scorer_error = rate,
+                "scorer_stall" => p.scorer_stall = rate,
+                _ => return None,
+            }
+        }
+        if p.max_rate() > 0.0 {
+            Some(p)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sets_every_rate() {
+        let p = FaultProfile::uniform(0.2);
+        assert_eq!(p.max_rate(), 0.2);
+        assert_eq!(p.feature_timeout, 0.2);
+        assert_eq!(p.scorer_stall, 0.2);
+    }
+
+    #[test]
+    fn parse_single_rate() {
+        let p = FaultProfile::parse("0.05").expect("rate");
+        assert_eq!(p, FaultProfile::uniform(0.05));
+    }
+
+    #[test]
+    fn parse_zero_and_off_disable() {
+        assert!(FaultProfile::parse("0").is_none());
+        assert!(FaultProfile::parse("0.0").is_none());
+        assert!(FaultProfile::parse("off").is_none());
+        assert!(FaultProfile::parse("").is_none());
+    }
+
+    #[test]
+    fn parse_per_class_pairs() {
+        let p = FaultProfile::parse("feature_timeout=0.2, scorer_stall=0.1").expect("pairs");
+        assert_eq!(p.feature_timeout, 0.2);
+        assert_eq!(p.scorer_stall, 0.1);
+        assert_eq!(p.recall_empty, 0.0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultProfile::parse("lots").is_none());
+        assert!(FaultProfile::parse("feature_timeout=x").is_none());
+        assert!(FaultProfile::parse("unknown_class=0.5").is_none());
+    }
+
+    #[test]
+    fn rates_clamp_to_unit_interval() {
+        assert_eq!(FaultProfile::parse("7").unwrap().max_rate(), 1.0);
+        assert_eq!(FaultProfile::parse("scorer_error=2.0").unwrap().scorer_error, 1.0);
+    }
+}

@@ -156,7 +156,11 @@ pub fn run_ab_test(
             // 50/50 hash bucketing by user id.
             let treated = uid % 2 == 1;
             let pipe: &mut ServingPipeline = if treated { treatment } else { base };
-            let exposures = pipe.serve(world, req, &mut rng);
+            // Simulator traffic is always in-range, so a ServeError here is
+            // a bug in the generator, not a hop failure (those degrade
+            // inside `serve` instead of erroring).
+            let exposures =
+                pipe.serve(world, req, &mut rng).expect("A/B traffic must be in-range");
 
             let (day_tally, tp_tally, city_tally) = if treated {
                 (&mut day_treat, &mut tp_treat[tp.index()], &mut city_treat[user.city as usize])

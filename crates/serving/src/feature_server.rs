@@ -4,10 +4,20 @@
 //!
 //! Wrapped in a [`std::sync::RwLock`] because a production feature server
 //! is hit concurrently by scoring and by the click-event ingestion path.
+//!
+//! ## Poisoned-lock recovery
+//!
+//! A panic on a thread holding the write lock poisons it. A production
+//! feature store must keep answering — behavior sequences and counters are
+//! advisory signals, and serving them slightly torn beats taking the whole
+//! ranking chain down. Every lock site therefore recovers the guard from a
+//! poisoned lock ([`std::sync::PoisonError::into_inner`]) and serves the
+//! last-known state, counting each recovery under the
+//! `serving.lock_recovered` telemetry counter (DESIGN.md §8).
 
 use basm_data::{BehaviorEvent, StatCounters};
 use std::collections::VecDeque;
-use std::sync::RwLock;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 struct State {
     history: Vec<VecDeque<BehaviorEvent>>,
@@ -21,6 +31,22 @@ pub struct FeatureServer {
 }
 
 impl FeatureServer {
+    /// Read access that survives poisoning: serve the last-known state.
+    fn read_state(&self) -> RwLockReadGuard<'_, State> {
+        self.state.read().unwrap_or_else(|poisoned| {
+            basm_obs::counter_add("serving.lock_recovered", 1);
+            poisoned.into_inner()
+        })
+    }
+
+    /// Write access that survives poisoning: mutate the last-known state.
+    fn write_state(&self) -> RwLockWriteGuard<'_, State> {
+        self.state.write().unwrap_or_else(|poisoned| {
+            basm_obs::counter_add("serving.lock_recovered", 1);
+            poisoned.into_inner()
+        })
+    }
+
     /// Fresh server for `n_users`/`n_items`, retaining up to `max_history`
     /// behavior events per user.
     pub fn new(n_users: usize, n_items: usize, max_history: usize) -> Self {
@@ -35,7 +61,7 @@ impl FeatureServer {
 
     /// Seed a user's history (e.g. from the offline log's warm state).
     pub fn seed_history(&self, uid: usize, events: impl IntoIterator<Item = BehaviorEvent>) {
-        let mut s = self.state.write().expect("feature server lock poisoned");
+        let mut s = self.write_state();
         let h = &mut s.history[uid];
         for ev in events {
             h.push_back(ev);
@@ -47,22 +73,22 @@ impl FeatureServer {
 
     /// Snapshot a user's behavior sequence (most recent last, as stored).
     pub fn history_snapshot(&self, uid: usize) -> VecDeque<BehaviorEvent> {
-        self.state.read().expect("feature server lock poisoned").history[uid].clone()
+        self.read_state().history[uid].clone()
     }
 
     /// Run `f` with read access to the counters.
     pub fn with_counters<R>(&self, f: impl FnOnce(&StatCounters) -> R) -> R {
-        f(&self.state.read().expect("feature server lock poisoned").counters)
+        f(&self.read_state().counters)
     }
 
     /// Ingest an exposure event.
     pub fn record_exposure(&self, iid: u32) {
-        self.state.write().expect("feature server lock poisoned").counters.item_exposures[iid as usize] += 1;
+        self.write_state().counters.item_exposures[iid as usize] += 1;
     }
 
     /// Ingest a click event: updates counters and the behavior sequence.
     pub fn record_click(&self, uid: usize, event: BehaviorEvent, ordered: bool) {
-        let mut s = self.state.write().expect("feature server lock poisoned");
+        let mut s = self.write_state();
         s.counters.user_clicks[uid] += 1;
         s.counters.item_clicks[event.item as usize] += 1;
         if ordered {
@@ -124,5 +150,35 @@ mod tests {
         fs.record_exposure(7);
         fs.record_exposure(7);
         fs.with_counters(|c| assert_eq!(c.item_exposures[7], 2));
+    }
+
+    #[test]
+    fn recovers_from_poisoned_lock() {
+        let fs = FeatureServer::new(2, 10, 4);
+        fs.record_click(0, ev(3), true);
+
+        // Poison the lock: panic on a thread holding the write guard.
+        let poisoner = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = fs.write_state();
+                panic!("injected panic while holding the write lock");
+            })
+            .join()
+        });
+        assert!(poisoner.is_err(), "the poisoning thread must have panicked");
+
+        // Reads serve the last-known state instead of panicking...
+        assert_eq!(fs.history_snapshot(0).len(), 1);
+        fs.with_counters(|c| assert_eq!(c.user_clicks[0], 1));
+        // ...and writes keep working on it.
+        fs.record_click(0, ev(4), false);
+        fs.record_exposure(5);
+        fs.seed_history(1, (0..2).map(ev));
+        assert_eq!(fs.history_snapshot(0).len(), 2);
+        assert_eq!(fs.history_snapshot(1).len(), 2);
+        fs.with_counters(|c| {
+            assert_eq!(c.user_clicks[0], 2);
+            assert_eq!(c.item_exposures[5], 1);
+        });
     }
 }

@@ -9,6 +9,15 @@
 //! * [`ServingPipeline`] — TPP orchestration: recall → score → top-k.
 //! * [`ab_test`] — the closed-loop 7-day A/B experiment against the
 //!   ground-truth click model, with per-day and per-segment CTRs.
+//!
+//! Serving is hardened for production-shaped failures (DESIGN.md §8): every
+//! request carries a [`DeadlinePolicy`] budget, malformed requests come back
+//! as typed [`ServeError`]s, and — with the `faults` cargo feature — an
+//! attached `basm_faults::FaultInjector` drives a graceful-degradation
+//! ladder (retry → stale/empty history → city-popularity recall →
+//! statistics-prior ranker) that never panics and never returns an empty
+//! response. With no injector (or `BASM_FAULTS=0`) the pipeline is bitwise
+//! identical to the pre-fault implementation.
 
 pub mod ab_test;
 pub mod feature_server;
@@ -19,7 +28,7 @@ pub mod scorer;
 
 pub use ab_test::{run_ab_test, AbConfig, AbResult, DayResult, SegmentBreakdown, Tally};
 pub use feature_server::FeatureServer;
-pub use pipeline::{Exposure, Request, ServingPipeline};
+pub use pipeline::{DeadlinePolicy, Exposure, Request, ServeError, ServingPipeline};
 pub use recall::LbsRecall;
 pub use replay::{position_ctr_profile, replay_top1, ReplayReport};
 pub use scorer::{score_candidates, score_sessions, SessionRequest};

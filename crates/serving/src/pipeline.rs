@@ -1,22 +1,50 @@
 //! TPP-like orchestration (Fig. 13): request → feature server → LBS recall →
 //! RTP scoring → top-k exposure.
+//!
+//! ## Robustness model (DESIGN.md §8)
+//!
+//! `serve` validates its inputs (typed [`ServeError`] instead of a panic on
+//! out-of-range users or cells) and, when the `faults` feature is on and an
+//! injector is attached, runs every hop under a per-request **deadline
+//! budget** against the injector's simulated clock with a **degradation
+//! ladder**:
+//!
+//! 1. **Retry with backoff** — retryable hop faults (feature-fetch timeout,
+//!    empty recall, scorer error) are retried up to
+//!    [`DeadlinePolicy::max_retries`] times while budget remains.
+//! 2. **Stage fallbacks** — when retries are exhausted the request degrades
+//!    instead of failing: empty history when the feature server stays down,
+//!    city-popularity recall when LBS stays empty, and a statistics-prior
+//!    ranker (item click counters the feature server already holds) when the
+//!    scorer errors out or the deadline is breached.
+//!
+//! Every retry, fallback, and breach is counted through `basm-obs`
+//! (`serving.retries`, `serving.fault.*`, `serving.fallback.*`,
+//! `serving.deadline_breach`). With no injector attached the plain fast path
+//! runs and is bitwise identical to a build without the `faults` feature
+//! (pinned by `tests/fault_ladder.rs`).
 
 use basm_core::model::CtrModel;
 use basm_data::{Context, TimePeriod, World};
 use basm_tensor::Prng;
+use std::collections::VecDeque;
 
 use crate::feature_server::FeatureServer;
 use crate::recall::LbsRecall;
 use crate::scorer::score_candidates;
 
+#[cfg(feature = "faults")]
+use basm_faults::{FaultInjector, FeatureFault, RecallFault, ScoreFault};
+
 /// One exposed item with its rank and model score.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Exposure {
     /// Item index.
     pub item: u32,
     /// 0-based exposure position.
     pub position: u8,
-    /// Model probability at scoring time.
+    /// Model probability at scoring time (or the statistics-prior score when
+    /// the request degraded past the model).
     pub score: f32,
 }
 
@@ -33,6 +61,62 @@ pub struct Request {
     pub geo: (u8, u8),
 }
 
+/// A request the pipeline refuses to serve (bad input, not a hop failure —
+/// hop failures degrade instead; see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// `uid` is not a user of this world.
+    UnknownUser {
+        /// The offending user id.
+        uid: usize,
+        /// Number of users the world holds.
+        n_users: usize,
+    },
+    /// The request cell lies outside the world's geo grid.
+    GeoOutOfRange {
+        /// The offending cell.
+        geo: (u8, u8),
+        /// The grid is `grid × grid`.
+        grid: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownUser { uid, n_users } => {
+                write!(f, "unknown user {uid} (world has {n_users} users)")
+            }
+            ServeError::GeoOutOfRange { geo, grid } => {
+                write!(f, "geo cell {geo:?} outside the {grid}x{grid} grid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Per-request latency budget and retry policy for the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlinePolicy {
+    /// Total simulated budget per request.
+    pub budget_ns: u64,
+    /// Retries per hop (on top of the first attempt) for retryable faults.
+    pub max_retries: u32,
+    /// Simulated pause before each retry.
+    pub backoff_ns: u64,
+}
+
+impl Default for DeadlinePolicy {
+    /// 150 ms budget, 2 retries per hop, 5 ms backoff — generous against the
+    /// default nominal hop costs (15 ms total) so a zero-fault request never
+    /// comes near the deadline, and tight enough that repeated 40 ms hop
+    /// timeouts push a request down the ladder.
+    fn default() -> Self {
+        Self { budget_ns: 150_000_000, max_retries: 2, backoff_ns: 5_000_000 }
+    }
+}
+
 /// One serving arm: a model plus its online state.
 pub struct ServingPipeline {
     /// The ranking model.
@@ -42,11 +126,18 @@ pub struct ServingPipeline {
     recall: LbsRecall,
     top_k: usize,
     pool: usize,
+    policy: DeadlinePolicy,
+    #[cfg(feature = "faults")]
+    faults: Option<FaultInjector>,
 }
 
 impl ServingPipeline {
     /// Build an arm for a world. `pool` is the recall depth, `top_k` the
     /// exposure list length.
+    ///
+    /// With the `faults` feature on, a fault injector is attached
+    /// automatically when `BASM_FAULTS` selects a nonzero profile (see
+    /// `basm_faults`); use `ServingPipeline::set_faults` to override.
     pub fn new(world: &World, model: Box<dyn CtrModel>, pool: usize, top_k: usize) -> Self {
         Self {
             model,
@@ -58,36 +149,247 @@ impl ServingPipeline {
             recall: LbsRecall::build(world),
             top_k,
             pool,
+            policy: DeadlinePolicy::default(),
+            #[cfg(feature = "faults")]
+            faults: FaultInjector::from_env(),
         }
     }
 
+    /// Replace the deadline/retry policy (defaults to
+    /// [`DeadlinePolicy::default`]).
+    pub fn set_deadline_policy(&mut self, policy: DeadlinePolicy) {
+        self.policy = policy;
+    }
+
+    /// Attach (or detach, with `None`) a fault injector, overriding whatever
+    /// `BASM_FAULTS` selected at construction.
+    #[cfg(feature = "faults")]
+    pub fn set_faults(&mut self, faults: Option<FaultInjector>) {
+        self.faults = faults;
+    }
+
     /// Serve a request: recall → score → rank → expose.
-    pub fn serve(&mut self, world: &World, req: Request, rng: &mut Prng) -> Vec<Exposure> {
+    ///
+    /// Returns a typed [`ServeError`] for out-of-range input. Hop failures
+    /// never surface here — the degradation ladder absorbs them (module
+    /// docs), so a valid request always yields an exposure list (possibly
+    /// empty when recall finds nothing).
+    pub fn serve(
+        &mut self,
+        world: &World,
+        req: Request,
+        rng: &mut Prng,
+    ) -> Result<Vec<Exposure>, ServeError> {
+        if req.uid >= world.users.len() {
+            return Err(ServeError::UnknownUser { uid: req.uid, n_users: world.users.len() });
+        }
+        let grid = world.config.geo_grid;
+        if req.geo.0 as usize >= grid || req.geo.1 as usize >= grid {
+            return Err(ServeError::GeoOutOfRange { geo: req.geo, grid });
+        }
+        #[cfg(feature = "faults")]
+        if self.faults.is_some() {
+            return Ok(self.serve_degraded(world, req, rng));
+        }
+        Ok(self.serve_fast(world, req, rng))
+    }
+
+    /// The fault-free serving path — exactly the pre-ladder pipeline.
+    fn serve_fast(&mut self, world: &World, req: Request, rng: &mut Prng) -> Vec<Exposure> {
         let user = &world.users[req.uid];
         let candidates = self.recall.candidates(user.city, req.geo, self.pool, rng);
         if candidates.is_empty() {
             return Vec::new();
         }
-        let ctx = Context {
-            day: req.day,
-            hour: req.hour,
-            tp: TimePeriod::from_hour(req.hour),
-            city: user.city,
-            geo: req.geo,
-            position: 0,
-        };
+        let ctx = request_context(user.city, req);
         let history = self.features.history_snapshot(req.uid);
-        let scores = self.features.with_counters(|counters| {
-            score_candidates(
-                self.model.as_mut(),
-                world,
-                req.uid,
-                &candidates,
-                ctx,
-                &history,
-                counters,
-            )
-        });
+        let scores = self.model_scores(world, req.uid, &candidates, ctx, &history);
+        self.rank_and_expose(scores, candidates)
+    }
+
+    /// Run the degradation ladder with the attached injector. The injector
+    /// is taken out of `self` for the duration so the ladder can borrow the
+    /// pipeline mutably alongside it.
+    #[cfg(feature = "faults")]
+    fn serve_degraded(&mut self, world: &World, req: Request, rng: &mut Prng) -> Vec<Exposure> {
+        let mut inj = self.faults.take().expect("serve_degraded requires an injector");
+        let out = self.serve_under_faults(world, req, rng, &mut inj);
+        self.faults = Some(inj);
+        out
+    }
+
+    /// The deadline-budgeted ladder: per-hop faults, bounded retries with
+    /// backoff against the simulated clock, then stage fallbacks.
+    #[cfg(feature = "faults")]
+    fn serve_under_faults(
+        &mut self,
+        world: &World,
+        req: Request,
+        rng: &mut Prng,
+        inj: &mut FaultInjector,
+    ) -> Vec<Exposure> {
+        let policy = self.policy;
+        let profile = inj.profile().clone();
+        let deadline = inj.clock().now_ns().saturating_add(policy.budget_ns);
+        // Can one more retry (backoff + another attempt at nominal cost)
+        // still land inside the budget?
+        let retry_fits = |inj: &mut FaultInjector, hop_cost_ns: u64| {
+            inj.clock().now_ns().saturating_add(policy.backoff_ns + hop_cost_ns) < deadline
+        };
+
+        // --- ABFS feature fetch: retry timeouts, degrade to stale/empty ---
+        let mut attempts = 0u32;
+        let history: VecDeque<_> = loop {
+            inj.clock().advance(profile.feature_cost_ns);
+            match inj.feature_fetch() {
+                FeatureFault::Ok => break self.features.history_snapshot(req.uid),
+                FeatureFault::Stale => {
+                    // A lagging replica answered: the newest quarter of the
+                    // sequence hasn't replicated yet. Serve what it has.
+                    basm_obs::counter_add("serving.fault.feature_stale", 1);
+                    let mut h = self.features.history_snapshot(req.uid);
+                    h.truncate(h.len() - h.len() / 4);
+                    break h;
+                }
+                FeatureFault::Timeout => {
+                    basm_obs::counter_add("serving.fault.feature_timeout", 1);
+                    inj.clock().advance(profile.hop_timeout_ns);
+                    if attempts < policy.max_retries && retry_fits(inj, profile.feature_cost_ns) {
+                        attempts += 1;
+                        basm_obs::counter_add("serving.retries", 1);
+                        inj.clock().advance(policy.backoff_ns);
+                        continue;
+                    }
+                    // Ladder rung: serve with an empty behavior sequence.
+                    basm_obs::counter_add("serving.fallback.history", 1);
+                    break VecDeque::new();
+                }
+            }
+        };
+
+        // --- LBS recall: retry empties, degrade to city popularity ---
+        let user_city = world.users[req.uid].city;
+        let mut attempts = 0u32;
+        let candidates = loop {
+            inj.clock().advance(profile.recall_cost_ns);
+            match inj.recall() {
+                RecallFault::Ok => break self.recall.candidates(user_city, req.geo, self.pool, rng),
+                RecallFault::Partial => {
+                    // A shard answered, the rest timed out: serve the half
+                    // that arrived.
+                    basm_obs::counter_add("serving.fault.recall_partial", 1);
+                    let mut c = self.recall.candidates(user_city, req.geo, self.pool, rng);
+                    c.truncate(c.len().div_ceil(2));
+                    break c;
+                }
+                RecallFault::Empty => {
+                    basm_obs::counter_add("serving.fault.recall_empty", 1);
+                    if attempts < policy.max_retries && retry_fits(inj, profile.recall_cost_ns) {
+                        attempts += 1;
+                        basm_obs::counter_add("serving.retries", 1);
+                        inj.clock().advance(policy.backoff_ns);
+                        continue;
+                    }
+                    // Ladder rung: most-clicked items of the user's city.
+                    basm_obs::counter_add("serving.fallback.recall", 1);
+                    break self.popularity_candidates(user_city);
+                }
+            }
+        };
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let ctx = request_context(user_city, req);
+
+        // --- RTP scoring: retry errors, degrade to the statistics prior ---
+        let mut attempts = 0u32;
+        let scores = loop {
+            if inj.clock().now_ns().saturating_add(profile.scorer_cost_ns) >= deadline {
+                // No room left for a model pass at all.
+                break self.breach_to_prior(&candidates);
+            }
+            inj.clock().advance(profile.scorer_cost_ns);
+            match inj.score() {
+                ScoreFault::Ok => {
+                    break self.model_scores(world, req.uid, &candidates, ctx, &history)
+                }
+                ScoreFault::Stall => {
+                    basm_obs::counter_add("serving.fault.scorer_stall", 1);
+                    inj.clock().advance(profile.hop_timeout_ns);
+                    if inj.clock().now_ns() >= deadline {
+                        break self.breach_to_prior(&candidates);
+                    }
+                    // The stalled answer arrived inside the budget after all.
+                    break self.model_scores(world, req.uid, &candidates, ctx, &history);
+                }
+                ScoreFault::Error => {
+                    basm_obs::counter_add("serving.fault.scorer_error", 1);
+                    if attempts < policy.max_retries && retry_fits(inj, profile.scorer_cost_ns) {
+                        attempts += 1;
+                        basm_obs::counter_add("serving.retries", 1);
+                        inj.clock().advance(policy.backoff_ns);
+                        continue;
+                    }
+                    basm_obs::counter_add("serving.fallback.ranker", 1);
+                    break self.prior_scores(&candidates);
+                }
+            }
+        };
+        self.rank_and_expose(scores, candidates)
+    }
+
+    /// Deadline breached mid-request: count it and fall back to the prior.
+    #[cfg(feature = "faults")]
+    fn breach_to_prior(&self, candidates: &[u32]) -> Vec<f32> {
+        basm_obs::counter_add("serving.deadline_breach", 1);
+        basm_obs::counter_add("serving.fallback.ranker", 1);
+        self.prior_scores(candidates)
+    }
+
+    /// Statistics-prior ranker (the last ladder rung): smoothed item CTR
+    /// from the click/exposure counters the feature server already holds.
+    /// Deterministic and model-free.
+    #[cfg(feature = "faults")]
+    fn prior_scores(&self, candidates: &[u32]) -> Vec<f32> {
+        self.features.with_counters(|c| {
+            candidates
+                .iter()
+                .map(|&iid| {
+                    c.item_clicks[iid as usize] as f32
+                        / (c.item_exposures[iid as usize] as f32 + 10.0)
+                })
+                .collect()
+        })
+    }
+
+    /// City-popularity recall (LBS-failure rung): the city's most-clicked
+    /// items by the feature server's counters, ties broken by item id.
+    #[cfg(feature = "faults")]
+    fn popularity_candidates(&self, city: u16) -> Vec<u32> {
+        self.features.with_counters(|c| {
+            let mut pool = self.recall.city_pool(city).to_vec();
+            pool.sort_by_key(|&iid| (std::cmp::Reverse(c.item_clicks[iid as usize]), iid));
+            pool.truncate(self.pool);
+            pool
+        })
+    }
+
+    /// Score candidates against the feature server's counters.
+    fn model_scores(
+        &mut self,
+        world: &World,
+        uid: usize,
+        candidates: &[u32],
+        ctx: Context,
+        history: &VecDeque<basm_data::BehaviorEvent>,
+    ) -> Vec<f32> {
+        self.features.with_counters(|counters| {
+            score_candidates(self.model.as_mut(), world, uid, candidates, ctx, history, counters)
+        })
+    }
+
+    /// Rank by score, take the top-k, record the exposures.
+    fn rank_and_expose(&mut self, scores: Vec<f32>, candidates: Vec<u32>) -> Vec<Exposure> {
         let mut ranked: Vec<(f32, u32)> =
             scores.iter().copied().zip(candidates.iter().copied()).collect();
         ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
@@ -103,11 +405,34 @@ impl ServingPipeline {
     }
 }
 
+/// The serving-time context for a request (position 0 by production
+/// convention — see [`score_candidates`]).
+fn request_context(city: u16, req: Request) -> Context {
+    Context {
+        day: req.day,
+        hour: req.hour,
+        tp: TimePeriod::from_hour(req.hour),
+        city,
+        geo: req.geo,
+        position: 0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use basm_baselines::build_model;
     use basm_data::WorldConfig;
+
+    fn clean_pipeline(world: &World, model: Box<dyn CtrModel>, pool: usize, k: usize) -> ServingPipeline {
+        #[allow(unused_mut)]
+        let mut pipe = ServingPipeline::new(world, model, pool, k);
+        // Tests must not inherit an injector from the ambient BASM_FAULTS
+        // (tier1.sh runs the suite under a nonzero profile).
+        #[cfg(feature = "faults")]
+        pipe.set_faults(None);
+        pipe
+    }
 
     #[test]
     fn serves_top_k_in_score_order() {
@@ -117,7 +442,7 @@ mod tests {
         let mut pipe = ServingPipeline::new(&world, model, 15, 5);
         let mut rng = Prng::seeded(1);
         let req = Request { uid: 0, day: 0, hour: 12, geo: world.users[0].geo };
-        let exposures = pipe.serve(&world, req, &mut rng);
+        let exposures = pipe.serve(&world, req, &mut rng).expect("in-range request");
         assert!(exposures.len() <= 5);
         assert!(!exposures.is_empty());
         for w in exposures.windows(2) {
@@ -136,11 +461,80 @@ mod tests {
         let mut pipe = ServingPipeline::new(&world, model, 10, 3);
         let mut rng = Prng::seeded(2);
         let req = Request { uid: 1, day: 0, hour: 19, geo: world.users[1].geo };
-        let exposures = pipe.serve(&world, req, &mut rng);
+        let exposures = pipe.serve(&world, req, &mut rng).expect("in-range request");
         pipe.features.with_counters(|c| {
             for e in &exposures {
                 assert!(c.item_exposures[e.item as usize] > 0);
             }
         });
+    }
+
+    #[test]
+    fn out_of_range_requests_get_typed_errors_not_panics() {
+        let cfg = WorldConfig::tiny();
+        let world = World::generate(cfg.clone());
+        let model = build_model("Wide&Deep", &cfg, 1);
+        let mut pipe = clean_pipeline(&world, model, 10, 3);
+        let mut rng = Prng::seeded(3);
+
+        // uid past the end of the user table used to index out of bounds.
+        let bad_uid = Request { uid: world.users.len(), day: 0, hour: 12, geo: (0, 0) };
+        assert_eq!(
+            pipe.serve(&world, bad_uid, &mut rng),
+            Err(ServeError::UnknownUser { uid: world.users.len(), n_users: world.users.len() })
+        );
+        let way_past = Request { uid: usize::MAX, day: 0, hour: 12, geo: (0, 0) };
+        assert!(matches!(
+            pipe.serve(&world, way_past, &mut rng),
+            Err(ServeError::UnknownUser { .. })
+        ));
+
+        // A cell outside the grid used to panic inside recall indexing.
+        let g = world.config.geo_grid as u8;
+        for geo in [(g, 0), (0, g), (u8::MAX, u8::MAX)] {
+            let bad_geo = Request { uid: 0, day: 0, hour: 12, geo };
+            assert_eq!(
+                pipe.serve(&world, bad_geo, &mut rng),
+                Err(ServeError::GeoOutOfRange { geo, grid: world.config.geo_grid })
+            );
+        }
+
+        // The pipeline still serves valid traffic afterwards.
+        let ok = Request { uid: 0, day: 0, hour: 12, geo: world.users[0].geo };
+        assert!(!pipe.serve(&world, ok, &mut rng).expect("valid request").is_empty());
+
+        // Errors render a readable message.
+        let msg = ServeError::UnknownUser { uid: 9, n_users: 4 }.to_string();
+        assert!(msg.contains("9") && msg.contains("4"), "unhelpful message: {msg}");
+    }
+
+    /// Exposures for a fixed seed, pinned. Any change to the zero-fault
+    /// serving path shows up here — the degradation ladder must be invisible
+    /// when no faults are injected (see also `tests/fault_ladder.rs`, which
+    /// pins no-injector vs zero-rate-injector equality when the `faults`
+    /// feature is on).
+    #[test]
+    fn zero_fault_exposures_are_pinned() {
+        let cfg = WorldConfig::tiny();
+        let world = World::generate(cfg.clone());
+        let model = build_model("Wide&Deep", &cfg, 1);
+        let mut pipe = clean_pipeline(&world, model, 12, 4);
+        let mut rng = Prng::seeded(42);
+        let mut served: Vec<Vec<u32>> = Vec::new();
+        for uid in 0..4usize {
+            let req = Request { uid, day: 0, hour: 12 + uid as u8, geo: world.users[uid].geo };
+            let exposures = pipe.serve(&world, req, &mut rng).expect("in-range request");
+            served.push(exposures.iter().map(|e| e.item).collect());
+        }
+        assert_eq!(
+            served,
+            vec![
+                vec![92, 65, 98, 126],
+                vec![35, 74, 112, 18],
+                vec![55, 72, 83, 15],
+                vec![1, 100, 106, 80]
+            ],
+            "zero-fault serving path changed: exposures diverge from the pinned sequence"
+        );
     }
 }

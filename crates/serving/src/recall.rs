@@ -30,6 +30,13 @@ impl LbsRecall {
         Self { grid, cells, by_city }
     }
 
+    /// Every indexed item of a city. Input for the city-popularity fallback
+    /// rung of the degradation ladder (DESIGN.md §8): when geo recall fails,
+    /// the pipeline ranks this pool by click-count priors instead.
+    pub fn city_pool(&self, city: u16) -> &[u32] {
+        &self.by_city[city as usize]
+    }
+
     /// Recall up to `limit` candidates near `(city, geo)`, expanding the
     /// search radius ring by ring; falls back to sampling the whole city.
     pub fn candidates(

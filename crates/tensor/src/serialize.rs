@@ -28,6 +28,14 @@ pub enum CheckpointError {
     Missing(String),
     /// Shape in the checkpoint disagrees with the live store.
     ShapeMismatch(String),
+    /// The stored CRC32 does not match the payload: the checkpoint was
+    /// corrupted after writing (bit flip, partial overwrite).
+    ChecksumMismatch {
+        /// CRC32 recorded at save time.
+        stored: u32,
+        /// CRC32 of the payload as read.
+        actual: u32,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -38,6 +46,9 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::Truncated => write!(f, "checkpoint truncated"),
             CheckpointError::Missing(n) => write!(f, "checkpoint missing entry {n:?}"),
             CheckpointError::ShapeMismatch(n) => write!(f, "shape mismatch for {n:?}"),
+            CheckpointError::ChecksumMismatch { stored, actual } => {
+                write!(f, "checkpoint corrupt: stored CRC32 {stored:#010x}, payload {actual:#010x}")
+            }
         }
     }
 }

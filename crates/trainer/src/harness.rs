@@ -1,6 +1,6 @@
 //! Train/evaluate loop over a [`Dataset`].
 
-use basm_core::model::{predict, train_step, CtrModel};
+use basm_core::model::{predict, train_step_checked, CtrModel};
 use basm_data::Dataset;
 use basm_metrics::{EvalAccumulator, MetricReport};
 use basm_tensor::optim::{AdagradDecay, LrSchedule};
@@ -91,26 +91,29 @@ pub fn train(
             let step_start = Instant::now();
             let batch = ds.batch(&chunk);
             let lr = cfg.schedule.at(step);
-            let loss = train_step(model, &batch, &mut opt, lr, cfg.grad_clip);
-            debug_assert!(loss.is_finite(), "non-finite loss at step {step}");
-            epoch_loss += loss as f64;
-            batches += 1;
+            let out = train_step_checked(model, &batch, &mut opt, lr, cfg.grad_clip);
+            if out.applied {
+                epoch_loss += out.loss as f64;
+                batches += 1;
+            } else {
+                // A NaN/Inf loss or gradient norm: the step was skipped and
+                // the model left untouched. Count it and keep training —
+                // one poisoned batch must not take the run down.
+                basm_obs::counter_add("trainer.nonfinite_skips", 1);
+            }
             step += 1;
             examples += chunk.len() as u64;
             let step_secs = step_start.elapsed().as_secs_f64();
             basm_obs::record_hist("trainer.step_ns", (step_secs * 1e9) as u64);
             if log_steps {
-                // The gradient norm costs a pass over the dense params, so
-                // it is only computed when a sink is attached.
-                let grad_norm = model.params().grad_norm();
                 basm_obs::jsonl::emit(
                     TRAIN_LOG_STREAM,
                     &[
                         ("step", step.into()),
                         ("epoch", (epoch as u64).into()),
-                        ("loss", loss.into()),
+                        ("loss", out.loss.into()),
                         ("lr", lr.into()),
-                        ("grad_norm", grad_norm.into()),
+                        ("grad_norm", out.grad_norm.into()),
                         ("examples_per_sec", (chunk.len() as f64 / step_secs.max(1e-12)).into()),
                     ],
                 );
@@ -224,6 +227,32 @@ mod tests {
         );
         assert!(out.final_train_loss.is_finite());
         assert!(out.steps > 0);
+    }
+
+    #[test]
+    fn nonfinite_batch_skips_the_step_and_leaves_the_model_untouched() {
+        let cfg = WorldConfig::tiny();
+        let data = generate_dataset(&cfg);
+        let mut model = build_model("Wide&Deep", &cfg, 1);
+        let probe = data.dataset.batch(&[4, 5, 6, 7]);
+        let before = predict(model.as_mut(), &probe);
+
+        let mut poisoned = data.dataset.batch(&[0, 1, 2, 3]);
+        poisoned.labels.data_mut()[0] = f32::NAN;
+        let mut opt = AdagradDecay::paper_default();
+        let out =
+            train_step_checked(model.as_mut(), &poisoned, &mut opt, 0.05, Some(10.0));
+        assert!(!out.applied, "NaN label must not produce an applied step");
+        assert!(!out.loss.is_finite());
+        // Dense params and embeddings are exactly as they were.
+        assert_eq!(predict(model.as_mut(), &probe), before);
+
+        // A healthy batch right after still trains normally.
+        let clean = data.dataset.batch(&[0, 1, 2, 3]);
+        let out = train_step_checked(model.as_mut(), &clean, &mut opt, 0.05, Some(10.0));
+        assert!(out.applied);
+        assert!(out.loss.is_finite() && out.grad_norm.is_finite());
+        assert_ne!(predict(model.as_mut(), &probe), before);
     }
 
     #[test]

@@ -53,7 +53,7 @@ fn main() {
     for s in 0..50 {
         let uid = s % cfg.n_users;
         let req = Request { uid, day: 0, hour: 12, geo: data.world.users[uid].geo };
-        shown += pipeline.serve(&data.world, req, &mut rng).len();
+        shown += pipeline.serve(&data.world, req, &mut rng).expect("in-range request").len();
     }
     println!("[5/5] served 50 requests, {shown} exposures — deployment flow complete");
 }

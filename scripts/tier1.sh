@@ -8,6 +8,13 @@
 # stay green with `--features obs` under BASM_OBS=0 and BASM_OBS=1 (telemetry
 # is purely observational — no computed bit may change), rustdoc must build
 # without warnings, and every doctest must pass.
+#
+# The fault layer (DESIGN.md §8) mirrors the obs gates: with `--features
+# faults` the suite must stay green both with injection disabled
+# (BASM_FAULTS=0 — the pinned-exposure tests prove this path is bitwise
+# identical to a build without the feature) and under a fixed nonzero
+# ambient profile (every hop failing 5% of the time — the degradation
+# ladder, not the tests, has to absorb it).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,6 +29,11 @@ done
 for obs in 0 1; do
     echo "== tier1: cargo test --features obs (BASM_OBS=$obs) =="
     BASM_OBS=$obs cargo test -q --workspace --features obs
+done
+
+for bf in 0 0.05; do
+    echo "== tier1: cargo test --features faults (BASM_FAULTS=$bf) =="
+    BASM_FAULTS=$bf cargo test -q --workspace --features faults
 done
 
 echo "== tier1: cargo doc --no-deps (deny warnings) =="
