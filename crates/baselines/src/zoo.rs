@@ -68,6 +68,40 @@ mod tests {
         }
     }
 
+    /// Buffer recycling (`BASM_POOL`) is an allocation strategy, never a
+    /// numeric one: training steps and predictions must be bitwise identical
+    /// with the arena on and off, for every Table IV model.
+    #[test]
+    fn pooled_and_cold_runs_bitwise_identical_for_every_model() {
+        use basm_core::model::train_step;
+        use basm_tensor::bufpool;
+        use basm_tensor::optim::AdagradDecay;
+        let cfg = WorldConfig::tiny();
+        let data = generate_dataset(&cfg);
+        let train_b = data.dataset.batch(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let eval_b = data.dataset.batch(&[8, 9, 10, 11]);
+        for name in TABLE4_MODELS {
+            let run = |pooled: bool| {
+                bufpool::set_pooling(Some(pooled));
+                let mut model = build_model(name, &cfg, 7);
+                let mut opt = AdagradDecay::paper_default();
+                let losses: Vec<u32> = (0..3)
+                    .map(|_| {
+                        train_step(model.as_mut(), &train_b, &mut opt, 0.05, Some(10.0))
+                            .to_bits()
+                    })
+                    .collect();
+                let probs: Vec<u32> = predict(model.as_mut(), &eval_b)
+                    .iter()
+                    .map(|p| p.to_bits())
+                    .collect();
+                bufpool::set_pooling(None);
+                (losses, probs)
+            };
+            assert_eq!(run(false), run(true), "{name}: pool on/off changed bits");
+        }
+    }
+
     #[test]
     #[should_panic(expected = "unknown model")]
     fn unknown_name_panics() {

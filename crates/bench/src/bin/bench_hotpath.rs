@@ -1,0 +1,202 @@
+//! **BENCH_hotpath**: wall-clock comparison of the allocation-free hot path
+//! (graph arena recycling + pooled tensor buffers, `BASM_POOL=1`, the
+//! default) against the cold allocate-everything path (`BASM_POOL=0`), on the
+//! two loops the pool was built for: steady-state training steps and
+//! per-request serving.
+//!
+//! Both modes run in one process via the programmatic pooling override, with
+//! a warmup before timing so the pooled rows measure the steady state the
+//! arena is designed for (the first step still cold-allocates its buffers).
+//! The binary also re-asserts the determinism contract end to end: pooled and
+//! cold predictions must be bitwise identical (the full pin lives in
+//! `crates/tensor/tests/parallel_determinism.rs` and the model crates).
+
+use basm_bench::BenchEnv;
+use basm_core::model::{predict, train_step, CtrModel};
+use basm_data::{generate_dataset, Context, StatCounters, TimePeriod, WorldConfig};
+use basm_serving::scorer::score_candidates;
+use basm_tensor::bufpool;
+use basm_tensor::optim::AdagradDecay;
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Per-mode timing over `reps` repetitions of one unit of work.
+#[derive(Serialize)]
+struct ModeStat {
+    /// `"pooled"` (`BASM_POOL=1`, default) or `"cold"` (`BASM_POOL=0`).
+    mode: String,
+    reps: usize,
+    best_secs: f64,
+    median_secs: f64,
+}
+
+#[derive(Serialize)]
+struct Comparison {
+    workload: String,
+    cold: ModeStat,
+    pooled: ModeStat,
+    /// Median of per-pair `cold/pooled` ratios. Reps alternate cold/pooled,
+    /// so each pair sees the same instantaneous host speed and the ratio is
+    /// robust to the drift a shared 1-core host shows.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct HotpathBench {
+    host_threads: usize,
+    note: String,
+    /// Pool traffic over the whole pooled phase (reuse hits vs allocations).
+    pool_reuse: u64,
+    pool_miss: u64,
+    comparisons: Vec<Comparison>,
+}
+
+fn stat(mode: &str, mut samples: Vec<f64>) -> ModeStat {
+    samples.sort_by(f64::total_cmp);
+    ModeStat {
+        mode: mode.to_string(),
+        reps: samples.len(),
+        best_secs: samples[0],
+        median_secs: samples[samples.len() / 2],
+    }
+}
+
+/// Time the two modes **interleaved** rep by rep: on a shared/throttling
+/// host, low-frequency speed drift would otherwise bias whichever phase runs
+/// second; alternating within the same time window hits both modes equally.
+fn compare(workload: &str, reps: usize, warmup: usize, mut f: impl FnMut(bool)) -> Comparison {
+    for pooled in [false, true] {
+        bufpool::set_pooling(Some(pooled));
+        for _ in 0..warmup {
+            f(pooled);
+        }
+    }
+    let mut cold_samples = Vec::with_capacity(reps);
+    let mut pooled_samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        bufpool::set_pooling(Some(false));
+        let t0 = Instant::now();
+        f(false);
+        cold_samples.push(t0.elapsed().as_secs_f64());
+        bufpool::set_pooling(Some(true));
+        let t0 = Instant::now();
+        f(true);
+        pooled_samples.push(t0.elapsed().as_secs_f64());
+    }
+    bufpool::set_pooling(None);
+    let mut ratios: Vec<f64> = cold_samples
+        .iter()
+        .zip(pooled_samples.iter())
+        .map(|(c, p)| c / p)
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    let speedup = ratios[ratios.len() / 2];
+    let cold = stat("cold", cold_samples);
+    let pooled = stat("pooled", pooled_samples);
+    eprintln!(
+        "[bench_hotpath] {workload}: cold {:.1}µs, pooled {:.1}µs ({speedup:.2}x)",
+        cold.median_secs * 1e6,
+        pooled.median_secs * 1e6,
+    );
+    Comparison { workload: workload.to_string(), cold, pooled, speedup }
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cfg = WorldConfig::tiny();
+    let data = generate_dataset(&cfg);
+    let ds = &data.dataset;
+
+    // --- determinism cross-check: pooled and cold bits must agree ---------
+    let probe = ds.batch(&(0..32).collect::<Vec<_>>());
+    let bits_for = |pooled: bool| -> Vec<u32> {
+        bufpool::set_pooling(Some(pooled));
+        let mut m = basm_baselines::build_model("BASM", &cfg, 1);
+        let bits = predict(m.as_mut(), &probe).iter().map(|p| p.to_bits()).collect();
+        bufpool::set_pooling(None);
+        bits
+    };
+    assert_eq!(
+        bits_for(false),
+        bits_for(true),
+        "pooled and cold predictions diverged — determinism contract broken"
+    );
+
+    // The paper's training batch size (TrainConfig::default_for); at this
+    // size the cold path's buffers cross glibc's mmap threshold, so every
+    // step pays mmap/munmap page churn that the arena simply keeps.
+    let bsz: usize = std::env::var("HOTPATH_BATCH").ok().and_then(|v| v.parse().ok()).unwrap_or(1024);
+    let ncand: u32 = std::env::var("HOTPATH_CANDS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
+
+    // --- per-request serving ---------------------------------------------
+    // Measured before training on purpose: serving allocations are what a
+    // fresh RTP process sees, not a heap pre-warmed by a big-batch training
+    // phase (glibc keeps freed chunks around, which flatters the cold path).
+    let world = &data.world;
+    let counters = StatCounters::new(cfg.n_users, cfg.n_items);
+    let ctx = Context {
+        day: 0,
+        hour: 12,
+        tp: TimePeriod::Lunch,
+        city: world.users[0].city,
+        geo: world.users[0].geo,
+        position: 0,
+    };
+    let candidates: Vec<u32> = (1..=ncand).collect();
+    let history = VecDeque::new();
+    let mut serve_models: Vec<Box<dyn CtrModel>> = vec![
+        basm_baselines::build_model("BASM", &cfg, 1),
+        basm_baselines::build_model("BASM", &cfg, 1),
+    ];
+    let serve = compare(&format!("serve request (BASM, {ncand} candidates)"), 300, 30, |pooled| {
+        let model = &mut serve_models[pooled as usize];
+        std::hint::black_box(score_candidates(
+            model.as_mut(),
+            world,
+            0,
+            &candidates,
+            ctx,
+            &history,
+            &counters,
+        ));
+    });
+
+    // --- training steps/sec ----------------------------------------------
+    let train_idx = ds.train_indices();
+    let batch_idx: Vec<usize> = (0..bsz).map(|i| train_idx[i % train_idx.len()]).collect();
+    let batch = ds.batch(&batch_idx);
+    // One model+optimizer per mode so both start from identical state.
+    let mut models: Vec<(Box<dyn CtrModel>, AdagradDecay)> = vec![
+        (basm_baselines::build_model("BASM", &cfg, 1), AdagradDecay::paper_default()),
+        (basm_baselines::build_model("BASM", &cfg, 1), AdagradDecay::paper_default()),
+    ];
+    let train = compare(&format!("train step (BASM, batch {bsz})"), 40, 5, |pooled| {
+        let (model, opt) = &mut models[pooled as usize];
+        std::hint::black_box(train_step(model.as_mut(), &batch, opt, 0.05, Some(10.0)));
+    });
+
+    let stats = bufpool::stats();
+    let note = format!(
+        "measured on a {host_threads}-core host. Steady-state medians after warmup; \
+         cold = BASM_POOL=0 (fresh graph + heap allocation per op), pooled = recycling \
+         arena (default). Results are bitwise identical in both modes.",
+    );
+    let report = HotpathBench {
+        host_threads,
+        note,
+        pool_reuse: stats.reuse,
+        pool_miss: stats.miss,
+        comparisons: vec![train, serve],
+    };
+    env.write_json("BENCH_hotpath.json", &report);
+
+    // With `--features obs` and BASM_OBS=1 the span/counter/gauge breakdown
+    // (serving.assemble_ns vs serving.predict_ns, pool.buffer_* traffic,
+    // graph.peak_bytes) shows where the time and memory actually went.
+    let obs = basm_obs::report();
+    if !obs.is_empty() {
+        eprintln!("{}", obs.to_table());
+    }
+}

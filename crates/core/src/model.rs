@@ -3,7 +3,7 @@
 use basm_data::Batch;
 use basm_tensor::graph::stable_sigmoid;
 use basm_tensor::optim::Optimizer;
-use basm_tensor::{Graph, ParamStore, Var};
+use basm_tensor::{with_graph, Graph, ParamStore, Var};
 
 use crate::features::FeatureEmbedder;
 
@@ -116,45 +116,48 @@ pub fn train_step_checked(
     if !batch.labels.all_finite() {
         return StepOutcome { loss: f32::NAN, grad_norm: f64::NAN, applied: false };
     }
-    let mut g = Graph::new();
-    let fwd = model.forward(&mut g, batch, true);
-    let labels = g.input(batch.labels.clone());
-    let loss = g.bce_with_logits(fwd.logits, labels);
-    g.backward(loss);
-    let loss_val = g.value(loss).item();
+    // The recycled per-thread graph keeps the tape and tensor buffers warm
+    // across steps (see `basm_tensor::with_graph`).
+    with_graph(|g| {
+        let fwd = model.forward(g, batch, true);
+        let labels = g.input(batch.labels.clone());
+        let loss = g.bce_with_logits(fwd.logits, labels);
+        g.backward(loss);
+        let loss_val = g.value(loss).item();
 
-    let store = model.params();
-    store.zero_grads();
-    store.accumulate_grads(&g);
-    let pre_norm = match grad_clip {
-        Some(max) => store.clip_grad_norm(max),
-        None => store.grad_norm(),
-    };
-    let grad_norm = match grad_clip {
-        Some(max) if pre_norm > max => max,
-        _ => pre_norm,
-    };
-    // The pre-clip norm is the honest health signal: clipping an infinite
-    // norm scales every gradient to zero, which would look "finite" after.
-    if !loss_val.is_finite() || !pre_norm.is_finite() {
-        model.clear_journals();
-        return StepOutcome { loss: loss_val, grad_norm: pre_norm, applied: false };
-    }
-    opt.step(store, lr);
-    model.apply_sparse_grads(&g, lr);
-    StepOutcome { loss: loss_val, grad_norm, applied: true }
+        let store = model.params();
+        store.zero_grads();
+        store.accumulate_grads(g);
+        let pre_norm = match grad_clip {
+            Some(max) => store.clip_grad_norm(max),
+            None => store.grad_norm(),
+        };
+        let grad_norm = match grad_clip {
+            Some(max) if pre_norm > max => max,
+            _ => pre_norm,
+        };
+        // The pre-clip norm is the honest health signal: clipping an infinite
+        // norm scales every gradient to zero, which would look "finite" after.
+        if !loss_val.is_finite() || !pre_norm.is_finite() {
+            model.clear_journals();
+            return StepOutcome { loss: loss_val, grad_norm: pre_norm, applied: false };
+        }
+        opt.step(store, lr);
+        model.apply_sparse_grads(g, lr);
+        StepOutcome { loss: loss_val, grad_norm, applied: true }
+    })
 }
 
 /// Inference: predicted click probabilities for a batch.
 pub fn predict(model: &mut dyn CtrModel, batch: &Batch) -> Vec<f32> {
-    let mut g = Graph::new();
-    let fwd = model.forward(&mut g, batch, false);
-    let probs = g
-        .value(fwd.logits)
-        .data()
-        .iter()
-        .map(|&z| stable_sigmoid(z))
-        .collect();
+    let probs = with_graph(|g| {
+        let fwd = model.forward(g, batch, false);
+        g.value(fwd.logits)
+            .data()
+            .iter()
+            .map(|&z| stable_sigmoid(z))
+            .collect()
+    });
     model.clear_journals();
     probs
 }
@@ -172,20 +175,22 @@ pub struct Inference {
 
 /// Run inference capturing hidden states and α weights.
 pub fn predict_full(model: &mut dyn CtrModel, batch: &Batch) -> Inference {
-    let mut g = Graph::new();
-    let fwd = model.forward(&mut g, batch, false);
-    let probs = g
-        .value(fwd.logits)
-        .data()
-        .iter()
-        .map(|&z| stable_sigmoid(z))
-        .collect();
-    let hidden = g.value(fwd.hidden).clone();
-    let alphas = fwd
-        .alphas
-        .iter()
-        .map(|&a| g.value(a).data().to_vec())
-        .collect();
+    let out = with_graph(|g| {
+        let fwd = model.forward(g, batch, false);
+        let probs = g
+            .value(fwd.logits)
+            .data()
+            .iter()
+            .map(|&z| stable_sigmoid(z))
+            .collect();
+        let hidden = g.value(fwd.hidden).clone();
+        let alphas = fwd
+            .alphas
+            .iter()
+            .map(|&a| g.value(a).data().to_vec())
+            .collect();
+        Inference { probs, hidden, alphas }
+    });
     model.clear_journals();
-    Inference { probs, hidden, alphas }
+    out
 }

@@ -92,13 +92,16 @@ impl SpanStat {
     }
 }
 
-/// Merged telemetry state: per-op span tables, counters and histograms.
+/// Merged telemetry state: per-op span tables, counters, gauges and
+/// histograms.
 #[derive(Default)]
 pub struct Aggregates {
     /// Span name → aggregate stats.
     pub spans: BTreeMap<&'static str, SpanStat>,
     /// Counter name → value.
     pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge name → high-water mark (merged by max).
+    pub gauges: BTreeMap<&'static str, u64>,
     /// Histogram name → merged histogram.
     pub hists: BTreeMap<&'static str, Histogram>,
 }
@@ -111,6 +114,10 @@ impl Aggregates {
         }
         for (name, v) in local.counters.drain_all() {
             *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, v) in local.gauges.drain_all() {
+            let slot = self.gauges.entry(name).or_insert(0);
+            *slot = (*slot).max(v);
         }
         for (name, h) in local.hists.drain_all() {
             self.hists.entry(name).or_insert_with(Histogram::new).merge(&h);
@@ -145,6 +152,7 @@ struct Local {
     ring: Vec<SpanEvent>,
     spans: NameMap<SpanStat>,
     counters: NameMap<u64>,
+    gauges: NameMap<u64>,
     hists: NameMap<Histogram>,
 }
 
@@ -154,6 +162,7 @@ impl Local {
             ring: Vec::new(),
             spans: NameMap::new(),
             counters: NameMap::new(),
+            gauges: NameMap::new(),
             hists: NameMap::new(),
         }
     }
@@ -210,6 +219,16 @@ pub fn add_counter(name: &'static str, n: u64) {
     });
 }
 
+/// Raise a high-water-mark gauge in the calling thread's local table; the
+/// global value after merging is the max observed on any thread.
+pub fn gauge_max(name: &'static str, v: u64) {
+    LOCAL.with(|cell| {
+        let mut local = cell.0.borrow_mut();
+        let slot = local.gauges.get_mut(name);
+        *slot = (*slot).max(v);
+    });
+}
+
 /// Record a histogram sample in the calling thread's local table.
 pub fn record_hist(name: &'static str, v: u64) {
     LOCAL.with(|cell| {
@@ -227,6 +246,7 @@ pub fn flush_current_thread() {
         if local.ring.is_empty()
             && local.spans.0.is_empty()
             && local.counters.0.is_empty()
+            && local.gauges.0.is_empty()
             && local.hists.0.is_empty()
         {
             return; // nothing recorded: skip the registry lock
@@ -243,6 +263,7 @@ pub fn reset() {
         local.ring.clear();
         local.spans.0.clear();
         local.counters.0.clear();
+        local.gauges.0.clear();
         local.hists.0.clear();
     });
     let mut reg = registry();
@@ -334,6 +355,26 @@ mod tests {
         assert_eq!(stat.max_ns, 30);
         assert_eq!(reg.counters["worker_count"], 3);
         assert_eq!(reg.hists["worker_hist"].count(), 3);
+    }
+
+    #[test]
+    fn gauges_merge_by_max_across_threads() {
+        let _guard = registry_lock();
+        reset();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (1..=3u64)
+                .map(|t| {
+                    s.spawn(move || {
+                        gauge_max("peak", 10 * t);
+                        gauge_max("peak", 5); // lower value must not regress it
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        assert_eq!(registry().gauges["peak"], 30);
     }
 
     #[test]

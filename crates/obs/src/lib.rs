@@ -178,6 +178,17 @@ pub fn counter_add(name: &'static str, n: u64) {
     }
 }
 
+/// Raise the named high-water-mark gauge to at least `v`. Unlike counters,
+/// gauges do not accumulate: the reported value is the maximum observed on
+/// any thread (e.g. `graph.peak_bytes`, the largest tape footprint seen).
+/// No-op when telemetry is off.
+#[inline]
+pub fn gauge_max(name: &'static str, v: u64) {
+    if enabled() {
+        agg::gauge_max(name, v);
+    }
+}
+
 /// Record one sample into the named histogram (by convention nanoseconds;
 /// see [`hist::Histogram`] for precision bounds). No-op when telemetry is
 /// off.
@@ -225,6 +236,7 @@ pub fn report() -> Report {
     Report {
         spans: reg.spans.iter().map(|(name, s)| SpanRow::from_stat(name, s)).collect(),
         counters: reg.counters.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+        gauges: reg.gauges.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
         hists: reg
             .hists
             .iter()
@@ -268,6 +280,8 @@ mod tests {
         }
         counter_add("test.counter", 2);
         counter_add("test.counter", 3);
+        gauge_max("test.gauge", 7);
+        gauge_max("test.gauge", 4);
         record_hist("test.hist", 12);
         {
             let _t = hist_timer("test.timer_ns");
@@ -279,6 +293,7 @@ mod tests {
         assert_eq!(span.calls, 1);
         assert_eq!(span.dims, vec![("rows".to_string(), 8), ("cols".to_string(), 3)]);
         assert_eq!(r.counters.iter().find(|(n, _)| n == "test.counter").unwrap().1, 5);
+        assert_eq!(r.gauges.iter().find(|(n, _)| n == "test.gauge").unwrap().1, 7);
         let h = r.hists.iter().find(|h| h.name == "test.hist").unwrap();
         assert_eq!((h.summary.count, h.summary.p50), (1, 12));
         assert!(r.hists.iter().any(|h| h.name == "test.timer_ns"));
@@ -295,11 +310,13 @@ mod tests {
             let _span = span!("test.disabled_op");
         }
         counter_add("test.disabled_counter", 1);
+        gauge_max("test.disabled_gauge", 1);
         record_hist("test.disabled_hist", 1);
         let r = report();
         set_enabled(None);
         assert!(!r.spans.iter().any(|s| s.name == "test.disabled_op"));
         assert!(!r.counters.iter().any(|(n, _)| n == "test.disabled_counter"));
+        assert!(!r.gauges.iter().any(|(n, _)| n == "test.disabled_gauge"));
         assert!(!r.hists.iter().any(|h| h.name == "test.disabled_hist"));
         reset();
     }

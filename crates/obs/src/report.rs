@@ -9,6 +9,7 @@
 //!   "spans":    [{"name": "matmul", "calls": 12, "total_ns": 34,
 //!                 "mean_ns": 2.8, "max_ns": 9, "dims": {"rows": 96}}],
 //!   "counters": [{"name": "pool.par_regions", "value": 4}],
+//!   "gauges":   [{"name": "graph.peak_bytes", "value": 524288}],
 //!   "histograms": [{"name": "serving.e2e_ns", "count": 7, "sum": 700,
 //!                   "min": 90, "max": 120, "mean": 100.0,
 //!                   "p50": 99, "p90": 118, "p99": 120}]
@@ -64,6 +65,8 @@ pub struct Report {
     pub spans: Vec<SpanRow>,
     /// Monotonic counters.
     pub counters: Vec<(String, u64)>,
+    /// High-water-mark gauges (max observed on any thread).
+    pub gauges: Vec<(String, u64)>,
     /// Histogram digests.
     pub hists: Vec<HistRow>,
 }
@@ -108,7 +111,10 @@ pub(crate) fn json_f64(v: f64) -> String {
 impl Report {
     /// `true` when nothing was recorded (e.g. telemetry compiled out).
     pub fn is_empty(&self) -> bool {
-        self.spans.is_empty() && self.counters.is_empty() && self.hists.is_empty()
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.hists.is_empty()
     }
 
     /// Render the three aggregate tables as aligned, human-readable text.
@@ -157,6 +163,12 @@ impl Report {
         if !self.counters.is_empty() {
             out.push_str("== counters ==\n");
             for (name, v) in &self.counters {
+                out.push_str(&format!("  {name} = {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("== gauges ==\n");
+            for (name, v) in &self.gauges {
                 out.push_str(&format!("  {name} = {v}\n"));
             }
         }
@@ -210,6 +222,13 @@ impl Report {
             }
             out.push_str(&format!("\n    {{\"name\": \"{}\", \"value\": {v}}}", json_escape(name)));
         }
+        out.push_str("\n  ],\n  \"gauges\": [");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {{\"name\": \"{}\", \"value\": {v}}}", json_escape(name)));
+        }
         out.push_str("\n  ],\n  \"histograms\": [");
         for (i, h) in self.hists.iter().enumerate() {
             if i > 0 {
@@ -255,6 +274,7 @@ mod tests {
                 dims: vec![("rows".into(), 96)],
             }],
             counters: vec![("pool.par_regions".into(), 4)],
+            gauges: vec![("graph.peak_bytes".into(), 4096)],
             hists: vec![HistRow { name: "serve.e2e_ns".into(), summary: h.summary() }],
         }
     }
@@ -262,8 +282,15 @@ mod tests {
     #[test]
     fn table_mentions_every_section_and_name() {
         let t = sample_report().to_table();
-        for needle in ["== spans ==", "matmul", "== counters ==", "pool.par_regions", "serve.e2e_ns"]
-        {
+        for needle in [
+            "== spans ==",
+            "matmul",
+            "== counters ==",
+            "pool.par_regions",
+            "== gauges ==",
+            "graph.peak_bytes",
+            "serve.e2e_ns",
+        ] {
             assert!(t.contains(needle), "missing {needle} in:\n{t}");
         }
     }
@@ -272,8 +299,10 @@ mod tests {
     fn json_is_stable_and_balanced() {
         let j = sample_report().to_json();
         assert!(j.contains("\"spans\""));
+        assert!(j.contains("\"gauges\""));
         assert!(j.contains("\"calls\": 2"));
         assert!(j.contains("\"rows\": 96"));
+        assert!(j.contains("\"value\": 4096"));
         assert!(j.contains("\"p50\": 20"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());

@@ -44,7 +44,12 @@ impl Graph {
     fn accum_grad(&mut self, id: usize, g: Tensor) {
         debug_assert_eq!(self.nodes[id].value.shape(), g.shape(), "grad shape mismatch");
         match &mut self.nodes[id].grad {
-            Some(existing) => existing.add_assign(&g),
+            Some(existing) => {
+                existing.add_assign(&g);
+                // The contribution was folded in; its buffer goes back to
+                // the pool instead of the allocator.
+                g.recycle();
+            }
             slot @ None => *slot = Some(g),
         }
     }
@@ -119,7 +124,7 @@ impl Graph {
                 let (m, n) = gout.shape();
                 if self.needs(a) {
                     let bv = self.val(b);
-                    let mut g = Tensor::zeros(m, n);
+                    let mut g = Tensor::scratch_pooled(m, n);
                     let threads = pool::threads_for(m, m * n);
                     pool::par_row_blocks(g.data_mut(), n, threads, |i0, block| {
                         let brow = bv.row(0);
@@ -136,7 +141,7 @@ impl Graph {
                     // Cross-row reduction into [1,n]: stays serial so the
                     // accumulation order is fixed.
                     let av = self.val(a);
-                    let mut g = Tensor::zeros(1, n);
+                    let mut g = Tensor::zeros_pooled(1, n);
                     for r in 0..m {
                         let grow = gout.row(r);
                         let arow = av.row(r);
@@ -161,7 +166,7 @@ impl Graph {
                 let (m, n) = gout.shape();
                 if self.needs(a) {
                     let bv = self.val(b);
-                    let mut g = Tensor::zeros(m, n);
+                    let mut g = Tensor::scratch_pooled(m, n);
                     let threads = pool::threads_for(m, m * n);
                     pool::par_row_blocks(g.data_mut(), n, threads, |i0, block| {
                         for (ri, orow) in block.chunks_mut(n).enumerate() {
@@ -176,7 +181,7 @@ impl Graph {
                 }
                 if self.needs(b) {
                     let av = self.val(a);
-                    let mut g = Tensor::zeros(m, 1);
+                    let mut g = Tensor::scratch_pooled(m, 1);
                     let threads = pool::threads_for(m, m * n);
                     pool::par_row_blocks(g.data_mut(), 1, threads, |i0, block| {
                         for (ri, o) in block.iter_mut().enumerate() {
@@ -243,7 +248,7 @@ impl Graph {
                 // dx_j = y_j * (g_j - Σ_k g_k y_k); masked positions have y=0.
                 if self.needs(a) {
                     let (m, n) = y.shape();
-                    let mut g = Tensor::zeros(m, n);
+                    let mut g = Tensor::scratch_pooled(m, n);
                     let threads = pool::threads_for(m, m * n);
                     pool::par_row_blocks(g.data_mut(), n, threads, |i0, block| {
                         for (ri, orow) in block.chunks_mut(n).enumerate() {
@@ -264,7 +269,7 @@ impl Graph {
                     let w = self.val(p).cols();
                     if self.needs(p) {
                         let m = gout.rows();
-                        let mut g = Tensor::zeros(m, w);
+                        let mut g = Tensor::scratch_pooled(m, w);
                         for r in 0..m {
                             g.row_mut(r).copy_from_slice(&gout.row(r)[offset..offset + w]);
                         }
@@ -276,7 +281,8 @@ impl Graph {
             Op::SliceCols { a, start, len } => {
                 if self.needs(a) {
                     let (m, n) = self.val(a).shape();
-                    let mut g = Tensor::zeros(m, n);
+                    // Only the slice is written; the rest must be exact zero.
+                    let mut g = Tensor::zeros_pooled(m, n);
                     for r in 0..m {
                         g.row_mut(r)[start..start + len].copy_from_slice(gout.row(r));
                     }
@@ -345,7 +351,8 @@ impl Graph {
             Op::RepeatRows { a, times } => {
                 if self.needs(a) {
                     let (m, n) = self.val(a).shape();
-                    let mut g = Tensor::zeros(m, n);
+                    // Accumulates over the repeats: needs exact zeros.
+                    let mut g = Tensor::zeros_pooled(m, n);
                     let threads = pool::threads_for(m, m * times * n);
                     pool::par_row_blocks(g.data_mut(), n, threads, |i0, block| {
                         for (ri, orow) in block.chunks_mut(n).enumerate() {
@@ -365,7 +372,7 @@ impl Graph {
                 let m = gout.rows();
                 if self.needs(seq) {
                     let wv = self.val(w);
-                    let mut g = Tensor::zeros(m, t * d);
+                    let mut g = Tensor::zeros_pooled(m, t * d);
                     let threads = pool::threads_for(m, m * t * d);
                     pool::par_row_blocks(g.data_mut(), t * d, threads, |i0, block| {
                         for (ri, orow) in block.chunks_mut(t * d).enumerate() {
@@ -386,7 +393,7 @@ impl Graph {
                 }
                 if self.needs(w) {
                     let sv = self.val(seq);
-                    let mut g = Tensor::zeros(m, t);
+                    let mut g = Tensor::scratch_pooled(m, t);
                     let threads = pool::threads_for(m, m * t * d);
                     pool::par_row_blocks(g.data_mut(), t, threads, |i0, block| {
                         for (ri, orow) in block.chunks_mut(t).enumerate() {
@@ -404,7 +411,7 @@ impl Graph {
                 let m = gout.rows();
                 if self.needs(w) {
                     let xv = self.val(x);
-                    let mut g = Tensor::zeros(m, out_dim * in_dim);
+                    let mut g = Tensor::zeros_pooled(m, out_dim * in_dim);
                     let threads = pool::threads_for(m, m * out_dim * in_dim);
                     pool::par_row_blocks(g.data_mut(), out_dim * in_dim, threads, |i0, block| {
                         for (ri, orow) in block.chunks_mut(out_dim * in_dim).enumerate() {
@@ -425,7 +432,7 @@ impl Graph {
                 }
                 if self.needs(x) {
                     let wv = self.val(w);
-                    let mut g = Tensor::zeros(m, in_dim);
+                    let mut g = Tensor::zeros_pooled(m, in_dim);
                     let threads = pool::threads_for(m, m * out_dim * in_dim);
                     pool::par_row_blocks(g.data_mut(), in_dim, threads, |i0, block| {
                         for (ri, orow) in block.chunks_mut(in_dim).enumerate() {
@@ -449,7 +456,7 @@ impl Graph {
                 let m = gout.rows();
                 if self.needs(w) {
                     let xv = self.val(x);
-                    let mut g = Tensor::zeros(m, out_dim * in_dim);
+                    let mut g = Tensor::zeros_pooled(m, out_dim * in_dim);
                     let threads = pool::threads_for(m, m * out_dim * in_dim);
                     pool::par_row_blocks(g.data_mut(), out_dim * in_dim, threads, |i0, block| {
                         for (ri, orow) in block.chunks_mut(out_dim * in_dim).enumerate() {
@@ -470,7 +477,7 @@ impl Graph {
                 }
                 if self.needs(x) {
                     let wv = self.val(w);
-                    let mut g = Tensor::zeros(m, in_dim);
+                    let mut g = Tensor::scratch_pooled(m, in_dim);
                     let threads = pool::threads_for(m, m * out_dim * in_dim);
                     pool::par_row_blocks(g.data_mut(), in_dim, threads, |i0, block| {
                         for (ri, orow) in block.chunks_mut(in_dim).enumerate() {
@@ -509,7 +516,7 @@ impl Graph {
                     // The column-mean reductions above stay serial (fixed
                     // accumulation order); the per-row combine is independent
                     // across rows and may fan out.
-                    let mut g = Tensor::zeros(m, n);
+                    let mut g = Tensor::scratch_pooled(m, n);
                     let threads = pool::threads_for(m, m * n);
                     pool::par_row_blocks(g.data_mut(), n, threads, |i0, block| {
                         for (ri, orow) in block.chunks_mut(n).enumerate() {
@@ -528,7 +535,7 @@ impl Graph {
                 if self.needs(x) {
                     let vv = self.val(var);
                     let (m, n) = gout.shape();
-                    let mut g = Tensor::zeros(m, n);
+                    let mut g = Tensor::scratch_pooled(m, n);
                     let threads = pool::threads_for(m, m * n);
                     pool::par_row_blocks(g.data_mut(), n, threads, |i0, block| {
                         for (ri, orow) in block.chunks_mut(n).enumerate() {
@@ -557,7 +564,7 @@ impl Graph {
 
 fn col_sums(t: &Tensor) -> Tensor {
     let (m, n) = t.shape();
-    let mut out = Tensor::zeros(1, n);
+    let mut out = Tensor::zeros_pooled(1, n);
     for r in 0..m {
         for (o, &x) in out.row_mut(0).iter_mut().zip(t.row(r).iter()) {
             *o += x;

@@ -16,10 +16,12 @@
 //! accumulation order — and therefore every result bit — is independent of
 //! the thread count.
 
+use crate::bufpool;
 use crate::linalg;
 use crate::pool;
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// Handle to a node in a [`Graph`].
@@ -148,14 +150,34 @@ impl Graph {
 
     /// Bytes held by all node values and gradients currently on the tape —
     /// the activation-memory measurement used by the Table VI accounting.
+    /// Counts allocated **capacity**, not logical length, so buffers the
+    /// recycling pool rounded up to a bucket size are reported honestly.
     pub fn memory_bytes(&self) -> usize {
         self.nodes
             .iter()
             .map(|n| {
-                let g = n.grad.as_ref().map_or(0, Tensor::len);
-                (n.value.len() + g) * std::mem::size_of::<f32>()
+                let g = n.grad.as_ref().map_or(0, Tensor::capacity);
+                (n.value.capacity() + g) * std::mem::size_of::<f32>()
             })
             .sum()
+    }
+
+    /// Clear the tape for reuse, recycling every node's value and gradient
+    /// buffer into the [`crate::bufpool`] while retaining the node vector's
+    /// and the param maps' own capacity. Records the tape's high-water mark
+    /// as the `graph.peak_bytes` gauge before releasing anything.
+    pub fn reset(&mut self) {
+        if !self.nodes.is_empty() {
+            basm_obs::gauge_max("graph.peak_bytes", self.memory_bytes() as u64);
+        }
+        for node in self.nodes.drain(..) {
+            node.value.recycle();
+            if let Some(grad) = node.grad {
+                grad.recycle();
+            }
+        }
+        self.param_cache.clear();
+        self.param_of_node.clear();
     }
 
     /// The forward value of `v`.
@@ -264,9 +286,9 @@ impl Graph {
     pub fn add_row(&mut self, a: Var, b: Var) -> Var {
         let (m, n) = self.value(a).shape();
         assert_eq!(self.value(b).shape(), (1, n), "add_row: b must be [1,{n}]");
-        let bd = self.value(b).data().to_vec();
+        let bd = self.value(b).data();
         let av = self.value(a);
-        let mut out = Tensor::zeros(m, n);
+        let mut out = Tensor::scratch_pooled(m, n);
         let threads = pool::threads_for(m, m * n);
         pool::par_row_blocks(out.data_mut(), n, threads, |i0, block| {
             for (ri, orow) in block.chunks_mut(n).enumerate() {
@@ -284,9 +306,9 @@ impl Graph {
     pub fn mul_row(&mut self, a: Var, b: Var) -> Var {
         let (m, n) = self.value(a).shape();
         assert_eq!(self.value(b).shape(), (1, n), "mul_row: b must be [1,{n}]");
-        let bd = self.value(b).data().to_vec();
+        let bd = self.value(b).data();
         let av = self.value(a);
-        let mut out = Tensor::zeros(m, n);
+        let mut out = Tensor::scratch_pooled(m, n);
         let threads = pool::threads_for(m, m * n);
         pool::par_row_blocks(out.data_mut(), n, threads, |i0, block| {
             for (ri, orow) in block.chunks_mut(n).enumerate() {
@@ -304,9 +326,9 @@ impl Graph {
     pub fn add_col(&mut self, a: Var, b: Var) -> Var {
         let (m, n) = self.value(a).shape();
         assert_eq!(self.value(b).shape(), (m, 1), "add_col: b must be [{m},1]");
-        let bd = self.value(b).data().to_vec();
+        let bd = self.value(b).data();
         let av = self.value(a);
-        let mut out = Tensor::zeros(m, n);
+        let mut out = Tensor::scratch_pooled(m, n);
         let threads = pool::threads_for(m, m * n);
         pool::par_row_blocks(out.data_mut(), n, threads, |i0, block| {
             for (ri, orow) in block.chunks_mut(n).enumerate() {
@@ -326,9 +348,9 @@ impl Graph {
     pub fn mul_col(&mut self, a: Var, b: Var) -> Var {
         let (m, n) = self.value(a).shape();
         assert_eq!(self.value(b).shape(), (m, 1), "mul_col: b must be [{m},1]");
-        let bd = self.value(b).data().to_vec();
+        let bd = self.value(b).data();
         let av = self.value(a);
-        let mut out = Tensor::zeros(m, n);
+        let mut out = Tensor::scratch_pooled(m, n);
         let threads = pool::threads_for(m, m * n);
         pool::par_row_blocks(out.data_mut(), n, threads, |i0, block| {
             for (ri, orow) in block.chunks_mut(n).enumerate() {
@@ -421,7 +443,7 @@ impl Graph {
     pub fn softmax_rows(&mut self, a: Var) -> Var {
         let av = self.value(a);
         let (m, n) = av.shape();
-        let mut out = Tensor::zeros(m, n);
+        let mut out = Tensor::scratch_pooled(m, n);
         let threads = pool::threads_for(m, m * n);
         pool::par_row_blocks(out.data_mut(), n, threads, |i0, block| {
             for (ri, orow) in block.chunks_mut(n).enumerate() {
@@ -439,7 +461,7 @@ impl Graph {
         let mv = self.value(mask);
         assert_eq!(av.shape(), mv.shape(), "masked_softmax: shape mismatch");
         let (m, n) = av.shape();
-        let mut out = Tensor::zeros(m, n);
+        let mut out = Tensor::scratch_pooled(m, n);
         let threads = pool::threads_for(m, m * n);
         pool::par_row_blocks(out.data_mut(), n, threads, |i0, block| {
             for (ri, orow) in block.chunks_mut(n).enumerate() {
@@ -459,7 +481,7 @@ impl Graph {
             assert_eq!(t.rows(), m, "concat_cols: row mismatch");
             t.cols()
         }).sum();
-        let mut out = Tensor::zeros(m, total);
+        let mut out = Tensor::scratch_pooled(m, total);
         let mut offset = 0;
         for &p in parts {
             let t = &self.nodes[p.0].value;
@@ -478,7 +500,7 @@ impl Graph {
         let av = self.value(a);
         let (m, n) = av.shape();
         assert!(start + len <= n, "slice_cols: [{start},{}) out of {n}", start + len);
-        let mut out = Tensor::zeros(m, len);
+        let mut out = Tensor::scratch_pooled(m, len);
         for r in 0..m {
             out.row_mut(r).copy_from_slice(&av.row(r)[start..start + len]);
         }
@@ -506,7 +528,7 @@ impl Graph {
         assert!(times > 0, "repeat_rows: times must be positive");
         let av = self.value(a);
         let (m, n) = av.shape();
-        let mut out = Tensor::zeros(m * times, n);
+        let mut out = Tensor::scratch_pooled(m * times, n);
         let threads = pool::threads_for(m * times, m * times * n);
         pool::par_row_blocks(out.data_mut(), n, threads, |i0, block| {
             for (ri, orow) in block.chunks_mut(n).enumerate() {
@@ -554,7 +576,8 @@ impl Graph {
     pub fn sum_cols(&mut self, a: Var) -> Var {
         let av = self.value(a);
         let (m, n) = av.shape();
-        let mut out = Tensor::zeros(1, n);
+        // Accumulating op: the output must start at exact 0.0.
+        let mut out = Tensor::zeros_pooled(1, n);
         for r in 0..m {
             for (o, &x) in out.row_mut(0).iter_mut().zip(av.row(r).iter()) {
                 *o += x;
@@ -570,7 +593,7 @@ impl Graph {
         let bv = self.value(b);
         assert_eq!(av.shape(), bv.shape(), "row_dot: shape mismatch");
         let (m, n) = av.shape();
-        let mut v = Tensor::zeros(m, 1);
+        let mut v = Tensor::scratch_pooled(m, 1);
         let threads = pool::threads_for(m, m * n);
         pool::par_row_blocks(v.data_mut(), 1, threads, |i0, block| {
             for (ri, o) in block.iter_mut().enumerate() {
@@ -592,7 +615,8 @@ impl Graph {
         assert_eq!(sv.cols(), t * d, "seq_weighted_sum: seq cols {} != {t}*{d}", sv.cols());
         assert_eq!(wv.shape(), (m, t), "seq_weighted_sum: weights must be [{m},{t}]");
         let _span = basm_obs::span!("tensor.seq_weighted_sum", rows = m, t, d);
-        let mut out = Tensor::zeros(m, d);
+        // Accumulating op (masked positions are skipped): needs exact zeros.
+        let mut out = Tensor::zeros_pooled(m, d);
         let threads = pool::threads_for(m, m * t * d);
         pool::par_row_blocks(out.data_mut(), d, threads, |i0, block| {
             for (ri, orow) in block.chunks_mut(d).enumerate() {
@@ -630,7 +654,7 @@ impl Graph {
             out_dim * in_dim
         );
         let _span = basm_obs::span!("tensor.meta_linear", rows = m, out_dim, in_dim);
-        let mut out = Tensor::zeros(m, out_dim);
+        let mut out = Tensor::scratch_pooled(m, out_dim);
         let threads = pool::threads_for(m, m * out_dim * in_dim);
         pool::par_row_blocks(out.data_mut(), out_dim, threads, |i0, block| {
             for (ri, orow) in block.chunks_mut(out_dim).enumerate() {
@@ -667,7 +691,8 @@ impl Graph {
             out_dim * in_dim
         );
         let _span = basm_obs::span!("tensor.meta_linear_in_major", rows = m, out_dim, in_dim);
-        let mut out = Tensor::zeros(m, out_dim);
+        // Accumulating op (zero inputs are skipped): needs exact zeros.
+        let mut out = Tensor::zeros_pooled(m, out_dim);
         let threads = pool::threads_for(m, m * out_dim * in_dim);
         pool::par_row_blocks(out.data_mut(), out_dim, threads, |i0, block| {
             for (ri, orow) in block.chunks_mut(out_dim).enumerate() {
@@ -721,7 +746,7 @@ impl Graph {
         // The per-row standardization is independent across rows; the batch
         // statistics above stay serial because their accumulation order is
         // part of the deterministic contract.
-        let mut out = Tensor::zeros(m, n);
+        let mut out = Tensor::scratch_pooled(m, n);
         let threads = pool::threads_for(m, m * n);
         pool::par_row_blocks(out.data_mut(), n, threads, |i0, block| {
             for (ri, orow) in block.chunks_mut(n).enumerate() {
@@ -747,9 +772,9 @@ impl Graph {
         let (m, n) = xv.shape();
         assert_eq!(self.value(mean).shape(), (1, n), "normalize_eval: mean must be [1,{n}]");
         assert_eq!(self.value(var).shape(), (1, n), "normalize_eval: var must be [1,{n}]");
-        let mu = self.value(mean).data().to_vec();
-        let va = self.value(var).data().to_vec();
-        let mut out = Tensor::zeros(m, n);
+        let mu = self.value(mean).data();
+        let va = self.value(var).data();
+        let mut out = Tensor::scratch_pooled(m, n);
         let threads = pool::threads_for(m, m * n);
         pool::par_row_blocks(out.data_mut(), n, threads, |i0, block| {
             for (ri, orow) in block.chunks_mut(n).enumerate() {
@@ -782,6 +807,49 @@ impl Graph {
         let rg = self.rg(logits.0);
         self.push(Op::BceWithLogits { logits: logits.0, labels: labels.0 }, v, rg)
     }
+}
+
+impl Drop for Graph {
+    /// Dropping a graph recycles its buffers into the pool (a plain free
+    /// when pooling is off), so even call sites that build a one-shot
+    /// `Graph::new()` feed the steady-state reuse path.
+    fn drop(&mut self) {
+        self.reset();
+    }
+}
+
+/// Graphs retained per thread by [`with_graph`]. Serving fans one request
+/// out per worker thread and each worker needs at most one live graph, but
+/// a couple of spares cover nested/evaluation use without unbounded growth.
+const MAX_CACHED_GRAPHS: usize = 4;
+
+thread_local! {
+    static GRAPH_CACHE: RefCell<Vec<Graph>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with a recycled [`Graph`]: the tape arrives empty but retains the
+/// node storage, param-map and tensor-buffer capacity of previous steps, so
+/// steady-state training/serving stops cold-allocating. With pooling
+/// disabled (`BASM_POOL=0`) this degrades to a fresh `Graph::new()` per call
+/// — the exact cold path. The graph is cached per thread, so concurrent
+/// workers never contend on a shared arena.
+pub fn with_graph<R>(f: impl FnOnce(&mut Graph) -> R) -> R {
+    if !bufpool::pooling_enabled() {
+        let mut g = Graph::new();
+        return f(&mut g);
+    }
+    let mut g = GRAPH_CACHE
+        .with(|c| c.borrow_mut().pop())
+        .unwrap_or_default();
+    let out = f(&mut g);
+    g.reset();
+    GRAPH_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        if cache.len() < MAX_CACHED_GRAPHS {
+            cache.push(g);
+        }
+    });
+    out
 }
 
 /// Numerically stable logistic function.

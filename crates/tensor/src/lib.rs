@@ -31,6 +31,7 @@
 //! verified against finite differences (see `tests/gradcheck.rs`).
 
 pub mod backward;
+pub mod bufpool;
 pub mod gradcheck;
 pub mod graph;
 pub mod linalg;
@@ -42,7 +43,7 @@ pub mod serialize;
 pub mod rng;
 pub mod tensor;
 
-pub use graph::{Graph, Var};
+pub use graph::{with_graph, Graph, Var};
 pub use params::{ParamId, ParamStore};
 pub use rng::Prng;
 pub use tensor::Tensor;

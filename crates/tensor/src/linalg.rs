@@ -9,6 +9,23 @@
 //!
 //! All kernels use the cache-friendly `i-k-j` loop order so the innermost loop
 //! streams contiguous rows of `B` and `C`, which the compiler auto-vectorizes.
+//! When the `B` operand is too large to sit in cache (see `PACK_MIN_B`),
+//! `matmul`/`matmul_at_b` switch to a packed, cache-blocked kernel: the
+//! `KC x NC` panel of `B` currently in play is copied once into a pooled,
+//! contiguous, block-major scratch buffer and reused across all output rows.
+//! Blocking runs `k` in ascending `KC` chunks and positions ascend within
+//! each chunk, so every output element still accumulates its `k` products in
+//! exactly the same `p`-ascending order as the naive loop — the packed and
+//! naive kernels are **bitwise identical** (pinned in
+//! `tests/parallel_determinism.rs`).
+//!
+//! The `C = A · B` entry points allocate `C` as unzeroed pooled scratch and
+//! let the kernels initialize it: the first `k` term of each element is
+//! written as `0.0 + a·b` with `=` instead of `+=`. That is the identical
+//! float-op sequence as accumulating into a zeroed buffer (the compiler may
+//! not fold `0.0 + x` — it would turn `-0.0` into `+0.0`), so bits don't
+//! move, but the whole-output memset is gone. [`matmul_acc`] keeps pure
+//! `+=` semantics for callers accumulating into existing values.
 //!
 //! Above a work threshold (see [`crate::pool::threads_for`]) each kernel
 //! row-blocks its *output* across scoped threads. The per-row code is shared
@@ -22,31 +39,139 @@
 //! genuinely sparse left operands (e.g. one-hot rows) use
 //! [`matmul_acc_sparse`], which keeps the zero-skip and is explicit about it.
 
+use crate::bufpool;
 use crate::pool;
 use crate::tensor::Tensor;
+
+/// Rows of `B` per packed panel (`k`-direction block). `KC x NC` floats is
+/// 32 KiB — comfortably inside L1d on anything this runs on.
+const KC: usize = 128;
+
+/// Columns of `B` per packed panel (`n`-direction block).
+const NC: usize = 64;
+
+/// Minimum `B` element count before the packed kernel pays for its packing
+/// traffic: below this, `B` fits in cache and the plain `i-k-j` loop already
+/// streams it. 32 Ki floats = 128 KiB.
+const PACK_MIN_B: usize = 1 << 15;
+
+#[inline]
+fn use_packed(m: usize, k: usize, n: usize) -> bool {
+    // Packing is amortized across output rows; a couple of rows can't pay
+    // for it. Both branches are bitwise identical, so this threshold is a
+    // pure performance choice.
+    m >= 4 && k * n >= PACK_MIN_B
+}
 
 /// `C = A · B` where `A: [m,k]`, `B: [k,n]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = a.shape();
     let (k2, n) = b.shape();
     assert_eq!(k, k2, "matmul: inner dims {k} vs {k2} (A {m}x{k}, B {k2}x{n})");
-    let mut c = Tensor::zeros(m, n);
-    matmul_acc(a, b, &mut c);
+    // Pooled scratch: the INIT kernels write every element (first `k` term
+    // with `=`), so the whole-tensor zeroing memset is elided. The written
+    // value `0.0 + a·b` replays exactly the accumulate-from-zero sequence —
+    // same bits as zeroing first (the compiler cannot fold `0.0 + x` without
+    // fast-math: it would flip `-0.0` to `+0.0`).
+    let mut c = Tensor::scratch_pooled(m, n);
+    let ad = a.data();
+    let bd = b.data();
+    let _span = basm_obs::span!("tensor.matmul", rows = m, inner = k, cols = n);
+    let threads = pool::threads_for(m, m * k * n);
+    if use_packed(m, k, n) {
+        pool::par_row_blocks(c.data_mut(), n, threads, |i0, block| {
+            matmul_rows_packed::<true>(ad, bd, block, i0, k, n);
+        });
+    } else {
+        pool::par_row_blocks(c.data_mut(), n, threads, |i0, block| {
+            matmul_rows::<true>(ad, bd, block, i0, k, n);
+        });
+    }
     c
 }
 
-/// Accumulate `A[i0.., :] · B` into `c_rows` (rows `i0..` of C).
-fn matmul_rows(ad: &[f32], bd: &[f32], c_rows: &mut [f32], i0: usize, k: usize, n: usize) {
+/// Accumulate `A[i0.., :] · B` into `c_rows` (rows `i0..` of C). With
+/// `INIT`, the `p == 0` term is written with `=` (as `0.0 + a·b`) instead of
+/// `+=` — bit-for-bit the accumulate-from-zero sequence, minus the memset.
+fn matmul_rows<const INIT: bool>(
+    ad: &[f32],
+    bd: &[f32],
+    c_rows: &mut [f32],
+    i0: usize,
+    k: usize,
+    n: usize,
+) {
+    if INIT && k == 0 {
+        c_rows.fill(0.0);
+        return;
+    }
     for (ri, crow) in c_rows.chunks_mut(n).enumerate() {
         let i = i0 + ri;
         let arow = &ad[i * k..(i + 1) * k];
         for (p, &aip) in arow.iter().enumerate() {
             let brow = &bd[p * n..(p + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                *cv += aip * bv;
+            if INIT && p == 0 {
+                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                    *cv = 0.0 + aip * bv;
+                }
+            } else {
+                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                    *cv += aip * bv;
+                }
             }
         }
     }
+}
+
+/// Cache-blocked sibling of [`matmul_rows`]: packs each `KC x NC` panel of
+/// `B` into a pooled contiguous scratch buffer and accumulates panel by
+/// panel. `kb` blocks ascend and `p` ascends within each block, so every
+/// output element receives its `k` products in the same order as
+/// [`matmul_rows`] — bitwise identical results, better locality.
+fn matmul_rows_packed<const INIT: bool>(
+    ad: &[f32],
+    bd: &[f32],
+    c_rows: &mut [f32],
+    i0: usize,
+    k: usize,
+    n: usize,
+) {
+    if INIT && k == 0 {
+        c_rows.fill(0.0);
+        return;
+    }
+    let rows = c_rows.len() / n;
+    let mut pack = bufpool::acquire_scratch(KC * NC);
+    for jb in (0..n).step_by(NC) {
+        let jw = NC.min(n - jb);
+        for kb in (0..k).step_by(KC) {
+            let kw = KC.min(k - kb);
+            // Pack B[kb..kb+kw, jb..jb+jw] row-major; every slot written.
+            for p in 0..kw {
+                let src = (kb + p) * n + jb;
+                pack[p * jw..(p + 1) * jw].copy_from_slice(&bd[src..src + jw]);
+            }
+            for ri in 0..rows {
+                let arow = &ad[(i0 + ri) * k + kb..(i0 + ri) * k + kb + kw];
+                let crow = &mut c_rows[ri * n + jb..ri * n + jb + jw];
+                for (p, &aip) in arow.iter().enumerate() {
+                    let brow = &pack[p * jw..(p + 1) * jw];
+                    // Each element's first `k` term overall sits at
+                    // (kb == 0, p == 0) of its `jb` panel.
+                    if INIT && kb == 0 && p == 0 {
+                        for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                            *cv = 0.0 + aip * bv;
+                        }
+                    } else {
+                        for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                            *cv += aip * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    bufpool::release(pack);
 }
 
 /// `C += A · B` into an existing output buffer. Branch-free: every
@@ -60,9 +185,15 @@ pub fn matmul_acc(a: &Tensor, b: &Tensor, c: &mut Tensor) {
     let ad = a.data();
     let bd = b.data();
     let threads = pool::threads_for(m, m * k * n);
-    pool::par_row_blocks(c.data_mut(), n, threads, |i0, block| {
-        matmul_rows(ad, bd, block, i0, k, n);
-    });
+    if use_packed(m, k, n) {
+        pool::par_row_blocks(c.data_mut(), n, threads, |i0, block| {
+            matmul_rows_packed::<false>(ad, bd, block, i0, k, n);
+        });
+    } else {
+        pool::par_row_blocks(c.data_mut(), n, threads, |i0, block| {
+            matmul_rows::<false>(ad, bd, block, i0, k, n);
+        });
+    }
 }
 
 /// `C += A · B`, skipping zero entries of `A`.
@@ -102,22 +233,51 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = b.shape();
     assert_eq!(k, k2, "matmul_at_b: outer dims {k} vs {k2}");
     let _span = basm_obs::span!("tensor.matmul_at_b", rows = m, inner = k, cols = n);
-    let mut c = Tensor::zeros(m, n);
+    // Pooled scratch, initialized by the kernels' first `k` term (see
+    // [`matmul`] for the bitwise argument).
+    let mut c = Tensor::scratch_pooled(m, n);
     let ad = a.data();
     let bd = b.data();
     let threads = pool::threads_for(m, m * k * n);
+    if use_packed(m, k, n) {
+        // Transpose A once into pooled scratch (row-major [m,k]) and reuse
+        // the packed kernel. Per output element that is the same
+        // `p`-ascending accumulation as the p-outer loop below.
+        let mut at = bufpool::acquire_scratch(k * m);
+        for (p, arow) in ad.chunks_exact(m).enumerate() {
+            for (i, &av) in arow.iter().enumerate() {
+                at[i * k + p] = av;
+            }
+        }
+        let atr = &at;
+        pool::par_row_blocks(c.data_mut(), n, threads, |i0, block| {
+            matmul_rows_packed::<true>(atr, bd, block, i0, k, n);
+        });
+        bufpool::release(at);
+        return c;
+    }
     // Each block owns output rows [i0, i0+rows) — columns i0.. of A. The
     // p-outer loop keeps B-row streaming and preserves the accumulation
-    // order of the serial (single-block) pass for every output element.
+    // order of the serial (single-block) pass for every output element;
+    // `p == 0` initializes.
     pool::par_row_blocks(c.data_mut(), n, threads, |i0, block| {
         let rows = block.len() / n;
+        if k == 0 {
+            block.fill(0.0);
+        }
         for p in 0..k {
             let arow = &ad[p * m..(p + 1) * m];
             let brow = &bd[p * n..(p + 1) * n];
             for (ri, &av) in arow[i0..i0 + rows].iter().enumerate() {
                 let crow = &mut block[ri * n..(ri + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                    *cv += av * bv;
+                if p == 0 {
+                    for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                        *cv = 0.0 + av * bv;
+                    }
+                } else {
+                    for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                        *cv += av * bv;
+                    }
                 }
             }
         }
@@ -126,25 +286,35 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 /// `C = A · Bᵀ` where `A: [m,k]`, `B: [n,k]`, result `[m,n]`.
+///
+/// `B`'s rows are already contiguous, so there is nothing to pack; instead
+/// the `j` loop is blocked in `NC`-row chunks of `B` so a panel stays in
+/// cache across every output row. Each output element is a single write of a
+/// self-contained dot product, so blocking cannot change any bit.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = a.shape();
     let (n, k2) = b.shape();
     assert_eq!(k, k2, "matmul_a_bt: inner dims {k} vs {k2}");
     let _span = basm_obs::span!("tensor.matmul_a_bt", rows = m, inner = k, cols = n);
-    let mut c = Tensor::zeros(m, n);
+    let mut c = Tensor::scratch_pooled(m, n);
     let ad = a.data();
     let bd = b.data();
     let threads = pool::threads_for(m, m * k * n);
     pool::par_row_blocks(c.data_mut(), n, threads, |i0, block| {
-        for (ri, crow) in block.chunks_mut(n).enumerate() {
-            let arow = &ad[(i0 + ri) * k..(i0 + ri + 1) * k];
-            for (j, cv) in crow.iter_mut().enumerate() {
-                let brow = &bd[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in arow.iter().zip(brow.iter()) {
-                    acc += av * bv;
+        let rows = block.len() / n;
+        for jb in (0..n).step_by(NC) {
+            let jw = NC.min(n - jb);
+            for ri in 0..rows {
+                let arow = &ad[(i0 + ri) * k..(i0 + ri + 1) * k];
+                let crow = &mut block[ri * n + jb..ri * n + jb + jw];
+                for (jo, cv) in crow.iter_mut().enumerate() {
+                    let brow = &bd[(jb + jo) * k..(jb + jo + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                        acc += av * bv;
+                    }
+                    *cv = acc;
                 }
-                *cv = acc;
             }
         }
     });

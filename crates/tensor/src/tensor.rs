@@ -6,6 +6,7 @@
 //! `(seq_len, dim)` split), a scalar loss is `[1, 1]`. Keeping the tensor rank
 //! fixed at 2 keeps every backward rule auditable.
 
+use crate::bufpool;
 use crate::pool;
 use std::fmt;
 
@@ -21,6 +22,35 @@ impl Tensor {
     /// A `rows x cols` tensor filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Self { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// A `rows x cols` zero tensor whose buffer comes from the recycling
+    /// [`crate::bufpool`] when possible. Numerically identical to
+    /// [`Tensor::zeros`]; pair with [`Tensor::recycle`] to keep the buffer
+    /// circulating.
+    pub fn zeros_pooled(rows: usize, cols: usize) -> Self {
+        Self { data: bufpool::acquire_zeroed(rows * cols), rows, cols }
+    }
+
+    /// A `rows x cols` tensor with **unspecified contents** from the
+    /// recycling pool. Callers must overwrite every element before reading
+    /// any — this is the memset-free path for kernels that fully write their
+    /// output (see `crate::bufpool` for the determinism contract).
+    pub fn scratch_pooled(rows: usize, cols: usize) -> Self {
+        Self { data: bufpool::acquire_scratch(rows * cols), rows, cols }
+    }
+
+    /// Consume the tensor, returning its buffer to the recycling pool (a
+    /// no-op drop when pooling is disabled or the buffer is foreign).
+    pub fn recycle(self) {
+        bufpool::release(self.data);
+    }
+
+    /// Allocated capacity of the underlying buffer in elements (>= `len`;
+    /// pooled buffers round up to a power-of-two bucket).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
     }
 
     /// A `rows x cols` tensor filled with ones.
@@ -49,13 +79,13 @@ impl Tensor {
 
     /// Build a tensor by evaluating `f(row, col)` at every position.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut out = Self::scratch_pooled(rows, cols);
         for r in 0..rows {
-            for c in 0..cols {
-                data.push(f(r, c));
+            for (c, o) in out.row_mut(r).iter_mut().enumerate() {
+                *o = f(r, c);
             }
         }
-        Self { data, rows, cols }
+        out
     }
 
     /// A `1 x 1` tensor holding a single scalar.
@@ -173,7 +203,7 @@ impl Tensor {
 
     /// Transposed copy.
     pub fn transposed(&self) -> Tensor {
-        let mut out = Tensor::zeros(self.cols, self.rows);
+        let mut out = Tensor::scratch_pooled(self.cols, self.rows);
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c * self.rows + r] = self.data[r * self.cols + c];
@@ -184,26 +214,21 @@ impl Tensor {
 
     /// Apply `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
-            rows: self.rows,
-            cols: self.cols,
+        let mut out = Tensor::scratch_pooled(self.rows, self.cols);
+        for (o, &x) in out.data.iter_mut().zip(self.data.iter()) {
+            *o = f(x);
         }
+        out
     }
 
     /// Apply `f` elementwise against `other` (same shape), returning a new tensor.
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
-        Tensor {
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-            rows: self.rows,
-            cols: self.cols,
+        let mut out = Tensor::scratch_pooled(self.rows, self.cols);
+        for ((o, &a), &b) in out.data.iter_mut().zip(self.data.iter()).zip(other.data.iter()) {
+            *o = f(a, b);
         }
+        out
     }
 
     /// Like [`Tensor::map`], but element blocks fan out across the thread
@@ -211,7 +236,7 @@ impl Tensor {
     /// Every element is transformed independently by the same `f`, so the
     /// result is bitwise identical to `map` for any thread count.
     pub fn par_map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
-        let mut out = Tensor::zeros(self.rows, self.cols);
+        let mut out = Tensor::scratch_pooled(self.rows, self.cols);
         let len = self.data.len();
         let threads = pool::threads_for(len, len);
         let src = &self.data;
@@ -227,7 +252,7 @@ impl Tensor {
     /// [`Tensor::par_map`].
     pub fn par_zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
-        let mut out = Tensor::zeros(self.rows, self.cols);
+        let mut out = Tensor::scratch_pooled(self.rows, self.cols);
         let len = self.data.len();
         let threads = pool::threads_for(len, len);
         let a = &self.data;

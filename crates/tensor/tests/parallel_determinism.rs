@@ -9,8 +9,8 @@
 //! parallel code paths) and comparing raw bits.
 
 use basm_tensor::gradcheck::assert_gradients;
-use basm_tensor::{linalg, pool};
-use basm_tensor::{Graph, Prng, Tensor};
+use basm_tensor::{bufpool, linalg, pool};
+use basm_tensor::{with_graph, Graph, Prng, Tensor};
 use std::sync::Mutex;
 
 /// Pool settings are process-global; serialize the tests that change them.
@@ -59,6 +59,13 @@ fn matmul_kernels_bitwise_identical_across_thread_counts() {
 /// matmul, batch norm, leaky ReLU, softmax, fused sequence pooling,
 /// per-sample meta-linear, concat, tanh, row sums and the BCE loss.
 fn forward_backward_bits() -> (u32, Vec<Vec<u32>>) {
+    let mut g = Graph::new();
+    forward_backward_bits_in(&mut g)
+}
+
+/// Same composite model, but building onto a caller-supplied graph so the
+/// recycled-tape path of [`with_graph`] can be exercised too.
+fn forward_backward_bits_in(g: &mut Graph) -> (u32, Vec<Vec<u32>>) {
     let mut rng = Prng::seeded(42);
     let x = rng.randn(24, 16, 1.0);
     let w1 = rng.randn(16, 12, 0.5);
@@ -67,7 +74,6 @@ fn forward_backward_bits() -> (u32, Vec<Vec<u32>>) {
     let mw = rng.randn(24, 4 * 12, 0.3);
     let labels = Tensor::from_fn(24, 1, |r, _| (r % 2) as f32);
 
-    let mut g = Graph::new();
     let xv = g.input_with_grad(x);
     let w1v = g.input_with_grad(w1);
     let seqv = g.input_with_grad(seq);
@@ -127,6 +133,106 @@ fn telemetry_on_off_bitwise_identical() {
     assert_eq!(baseline, run(true, 1), "obs on/off must match serially");
     assert_eq!(baseline, run(true, 4), "obs on/off must match in parallel");
     assert_eq!(baseline, run(false, 4));
+}
+
+/// Buffer recycling must be purely an allocation strategy: with the arena
+/// on or off (`BASM_POOL`, here via the programmatic override), serial or
+/// under 4 threads, every computed bit must be identical.
+#[test]
+fn pooling_on_off_bitwise_identical() {
+    let _guard = SETTINGS.lock().unwrap();
+    let run = |pooled: bool, threads: usize| {
+        bufpool::set_pooling(Some(pooled));
+        let out = with_pool(threads, forward_backward_bits);
+        bufpool::set_pooling(None);
+        out
+    };
+    let baseline = run(false, 1);
+    assert_eq!(baseline, run(true, 1), "pool on/off must match serially");
+    assert_eq!(baseline, run(true, 4), "pool on/off must match in parallel");
+    assert_eq!(baseline, run(false, 4));
+}
+
+/// Recycled tapes from [`with_graph`] start logically empty but reuse node
+/// storage and pooled tensor buffers; repeated reuse must not change a bit
+/// relative to a fresh `Graph::new()`.
+#[test]
+fn graph_recycling_bitwise_identical_across_reuse() {
+    let _guard = SETTINGS.lock().unwrap();
+    bufpool::set_pooling(Some(true));
+    let fresh = forward_backward_bits();
+    for round in 0..3 {
+        let reused = with_graph(forward_backward_bits_in);
+        assert_eq!(fresh, reused, "recycled graph diverged on round {round}");
+    }
+    bufpool::set_pooling(None);
+}
+
+/// Reference `i-k-j` kernel: every output element accumulates its `k`
+/// products in ascending-`p` order starting from 0.0 — the exact order the
+/// production kernels (naive and packed alike) promise to preserve.
+fn naive_ikj(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let (_, n) = b.shape();
+    let mut c = Tensor::zeros(m, n);
+    let cd = c.data_mut();
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a.get(i, p);
+            for j in 0..n {
+                cd[i * n + j] += aip * b.get(p, j);
+            }
+        }
+    }
+    c
+}
+
+/// The packed cache-blocked kernels must be bitwise identical to the naive
+/// triple loop. Shapes are chosen to trigger the packed path (`m >= 4`,
+/// `k*n >= 2^15`) with ragged edges (k, n not multiples of the 128x64
+/// panel), and checked under 1 and 4 threads.
+#[test]
+fn packed_kernels_bitwise_match_naive_triple_loop() {
+    let _guard = SETTINGS.lock().unwrap();
+    let mut rng = Prng::seeded(23);
+    let (m, k, n) = (16, 150, 300);
+    let a = rng.randn(m, k, 1.0);
+    let b = rng.randn(k, n, 1.0);
+    let at = a.transposed();
+    let bt = b.transposed();
+    let want = bits(&naive_ikj(&a, &b));
+    for threads in [1usize, 4] {
+        with_pool(threads, || {
+            assert_eq!(bits(&linalg::matmul(&a, &b)), want, "matmul, {threads} threads");
+            assert_eq!(
+                bits(&linalg::matmul_at_b(&at, &b)),
+                want,
+                "matmul_at_b, {threads} threads"
+            );
+            assert_eq!(
+                bits(&linalg::matmul_a_bt(&a, &bt)),
+                want,
+                "matmul_a_bt, {threads} threads"
+            );
+        });
+    }
+}
+
+/// `Graph::memory_bytes` must report allocated capacity, not logical
+/// length: the recycling pool rounds buffers up to power-of-two buckets and
+/// the Table VI accounting has to see what is actually held.
+#[test]
+fn graph_memory_bytes_counts_capacity() {
+    let _guard = SETTINGS.lock().unwrap();
+    bufpool::set_pooling(Some(true));
+    // 3x33 = 99 floats rounds up to a 128-float bucket.
+    let t = Tensor::zeros_pooled(3, 33);
+    let cap = t.capacity();
+    assert!(cap >= 128, "pooled buffer should carry bucket capacity, got {cap}");
+    let mut g = Graph::new();
+    g.input(t);
+    assert_eq!(g.memory_bytes(), cap * std::mem::size_of::<f32>());
+    bufpool::set_pooling(None);
 }
 
 #[test]

@@ -158,8 +158,9 @@ fn refresh_batch_norm(
         .take(passes)
     {
         let batch = ds.batch(&chunk);
-        let mut g = basm_tensor::Graph::new();
-        let _ = model.forward(&mut g, &batch, true);
+        basm_tensor::with_graph(|g| {
+            let _ = model.forward(g, &batch, true);
+        });
         model.clear_journals();
     }
 }

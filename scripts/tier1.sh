@@ -26,6 +26,15 @@ for threads in 1 4; do
     BASM_THREADS=$threads cargo test -q --workspace
 done
 
+# The buffer-recycling arena (DESIGN.md §9) must be purely an allocation
+# strategy: the tensor determinism/gradcheck suites have to stay green — and
+# bitwise identical — with the pool disabled (the cold pre-arena path) and
+# enabled, including under threads.
+for pool in 0 1; do
+    echo "== tier1: basm-tensor tests (BASM_POOL=$pool, BASM_THREADS=4) =="
+    BASM_POOL=$pool BASM_THREADS=4 cargo test -q -p basm-tensor --tests
+done
+
 for obs in 0 1; do
     echo "== tier1: cargo test --features obs (BASM_OBS=$obs) =="
     BASM_OBS=$obs cargo test -q --workspace --features obs
