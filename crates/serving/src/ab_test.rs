@@ -176,7 +176,10 @@ pub fn run_ab_test(
                     tp,
                     city: user.city,
                     geo,
-                    position: e.position,
+                    // The click model's position bias is saturated far below
+                    // 255, so clamping the (now u16) exposure position into
+                    // the u8 context field loses nothing for A/B traffic.
+                    position: e.position.min(u8::MAX as u16) as u8,
                 };
                 let history = pipe.features.history_snapshot(uid);
                 let beh =

@@ -1,0 +1,237 @@
+//! Deterministic simulated request traffic for the batched front-end
+//! (DESIGN.md §10): independent Poisson arrival processes per city, riding
+//! the world's hour-of-day exposure curve.
+//!
+//! Real food-ordering traffic is brutally non-uniform — the bimodal
+//! lunch/dinner curve the paper's Fig. 2 shows (and [`World::hour_weights`]
+//! encodes) is exactly what a serving front-end has to absorb. The generator
+//! reproduces it with a *thinned* non-homogeneous Poisson process per city:
+//! candidate arrivals are drawn at the city's envelope rate, then accepted
+//! with probability proportional to the hour weight at their simulated
+//! timestamp. Everything is a pure function of the config (seeded
+//! [`Prng`]s, no wall clock), so a load schedule replays bit-for-bit —
+//! which is what lets `tests/frontend_determinism.rs` pin batched against
+//! sequential serving on the *same* traffic.
+
+use basm_data::World;
+use basm_tensor::Prng;
+
+/// One simulated request arrival, ready to become a
+/// [`crate::pipeline::Request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival time on the front-end's simulated clock.
+    pub t_ns: u64,
+    /// Requesting user (drawn uniformly within the arrival's city).
+    pub uid: usize,
+    /// Simulated day of the request.
+    pub day: u16,
+    /// World hour-of-day at the arrival timestamp.
+    pub hour: u8,
+    /// Request cell (the user's home cell).
+    pub geo: (u8, u8),
+    /// Per-request RNG seed: recall sampling for this request draws from
+    /// `Prng::seeded(seed)`, so batched and sequential execution of the same
+    /// schedule see identical randomness.
+    pub seed: u64,
+}
+
+/// Shape of a simulated traffic window.
+#[derive(Debug, Clone)]
+pub struct ArrivalConfig {
+    /// Mean offered load over the window, requests per simulated second,
+    /// summed over all cities (each city contributes proportionally to its
+    /// user count).
+    pub qps: f64,
+    /// Window length on the simulated clock.
+    pub duration_ns: u64,
+    /// World hour-of-day at window start.
+    pub start_hour: f64,
+    /// How many world-hours the window maps onto. Queueing happens on a
+    /// millisecond timescale while the exposure curve moves over hours, so
+    /// the window *compresses* world time: a 10-second window with
+    /// `hours_spanned = 4.0` sweeps e.g. the 10:00 → 14:00 lunch ramp.
+    pub hours_spanned: f64,
+    /// Master seed for the whole schedule.
+    pub seed: u64,
+}
+
+impl Default for ArrivalConfig {
+    /// 200 QPS over a 5-second window sweeping the late-morning → lunch
+    /// ramp.
+    fn default() -> Self {
+        Self { qps: 200.0, duration_ns: 5_000_000_000, start_hour: 10.0, hours_spanned: 4.0, seed: 1 }
+    }
+}
+
+/// World hour-of-day (and day index) at offset `t_ns` into the window.
+fn world_time(cfg: &ArrivalConfig, t_ns: u64) -> (u16, u8) {
+    let frac = t_ns as f64 / cfg.duration_ns.max(1) as f64;
+    let hour_f = cfg.start_hour + frac * cfg.hours_spanned;
+    let day = (hour_f / 24.0).floor() as u16;
+    let hour = hour_f.rem_euclid(24.0).floor() as u8;
+    (day, hour.min(23))
+}
+
+/// Generate the arrival schedule for a window: one thinned Poisson stream
+/// per city, merged in time order. Deterministic — same `(world, cfg)`,
+/// same schedule, bit for bit.
+pub fn generate_arrivals(world: &World, cfg: &ArrivalConfig) -> Vec<Arrival> {
+    assert!(cfg.qps > 0.0, "offered load must be positive");
+    assert!(cfg.duration_ns > 0, "window must have positive length");
+
+    let n_cities = world.config.n_cities;
+    let mut users_by_city: Vec<Vec<usize>> = vec![Vec::new(); n_cities];
+    for (uid, user) in world.users.iter().enumerate() {
+        users_by_city[user.city as usize].push(uid);
+    }
+
+    // Normalize the exposure curve to mean 1 over the day, so `qps` stays
+    // the *mean* offered load whatever window the schedule sweeps.
+    let weight_sum: f64 = world.hour_weights.iter().sum();
+    let w_norm: Vec<f64> = world.hour_weights.iter().map(|w| w * 24.0 / weight_sum).collect();
+    let w_max = w_norm.iter().cloned().fold(f64::MIN, f64::max);
+
+    let duration_secs = cfg.duration_ns as f64 / 1e9;
+    let mut master = Prng::seeded(cfg.seed);
+    // (t_ns, city, uid): city breaks the (astronomically unlikely) cross-city
+    // timestamp tie deterministically.
+    let mut merged: Vec<(u64, u16, usize)> = Vec::new();
+    for (city, pool) in users_by_city.iter().enumerate() {
+        let mut rng = master.fork(city as u64 + 1);
+        if pool.is_empty() {
+            continue;
+        }
+        let share = pool.len() as f64 / world.users.len() as f64;
+        let envelope = cfg.qps * share * w_max; // thinning envelope rate, 1/s
+        if envelope <= 0.0 {
+            continue;
+        }
+        let mut t = 0.0f64; // seconds into the window
+        loop {
+            // Exponential inter-arrival at the envelope rate.
+            let u = rng.uniform() as f64;
+            t += -(1.0 - u).max(1e-12).ln() / envelope;
+            if t >= duration_secs {
+                break;
+            }
+            let t_ns = (t * 1e9) as u64;
+            let (_, hour) = world_time(cfg, t_ns);
+            // Thin: accept with probability weight(hour)/w_max.
+            if (rng.uniform() as f64) < w_norm[hour as usize] / w_max {
+                let uid = pool[rng.below(pool.len())];
+                merged.push((t_ns, city as u16, uid));
+            }
+        }
+    }
+    merged.sort_unstable();
+
+    merged
+        .into_iter()
+        .enumerate()
+        .map(|(i, (t_ns, _, uid))| {
+            let (day, hour) = world_time(cfg, t_ns);
+            Arrival {
+                t_ns,
+                uid,
+                day,
+                hour,
+                geo: world.users[uid].geo,
+                // SplitMix-style stream id: decorrelated per request but a
+                // pure function of (seed, arrival index).
+                seed: cfg.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basm_data::WorldConfig;
+
+    fn tiny_world() -> World {
+        World::generate(WorldConfig::tiny())
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let world = tiny_world();
+        let cfg = ArrivalConfig { qps: 300.0, ..ArrivalConfig::default() };
+        assert_eq!(generate_arrivals(&world, &cfg), generate_arrivals(&world, &cfg));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let world = tiny_world();
+        let a = generate_arrivals(&world, &ArrivalConfig::default());
+        let b = generate_arrivals(&world, &ArrivalConfig { seed: 2, ..ArrivalConfig::default() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrivals_are_time_ordered_in_window_and_in_range() {
+        let world = tiny_world();
+        let cfg = ArrivalConfig { qps: 500.0, ..ArrivalConfig::default() };
+        let arrivals = generate_arrivals(&world, &cfg);
+        assert!(!arrivals.is_empty());
+        for w in arrivals.windows(2) {
+            assert!(w[0].t_ns <= w[1].t_ns, "schedule must be time-sorted");
+        }
+        for a in &arrivals {
+            assert!(a.t_ns < cfg.duration_ns);
+            assert!(a.uid < world.users.len());
+            assert!(a.hour < 24);
+            assert!((a.geo.0 as usize) < world.config.geo_grid);
+            assert!((a.geo.1 as usize) < world.config.geo_grid);
+        }
+    }
+
+    #[test]
+    fn mean_rate_tracks_offered_qps() {
+        let world = tiny_world();
+        // A whole day swept: the normalized curve averages out to ~1, so the
+        // count should land near qps × duration.
+        let cfg = ArrivalConfig {
+            qps: 400.0,
+            duration_ns: 10_000_000_000,
+            start_hour: 0.0,
+            hours_spanned: 24.0,
+            seed: 5,
+        };
+        let got = generate_arrivals(&world, &cfg).len() as f64;
+        let want = 400.0 * 10.0;
+        assert!(
+            (got - want).abs() < want * 0.15,
+            "offered {want} arrivals, generated {got}"
+        );
+    }
+
+    #[test]
+    fn lunch_window_outdraws_dead_of_night() {
+        let world = tiny_world();
+        let window = |start_hour: f64| ArrivalConfig {
+            qps: 300.0,
+            duration_ns: 5_000_000_000,
+            start_hour,
+            hours_spanned: 1.0,
+            seed: 9,
+        };
+        let lunch = generate_arrivals(&world, &window(12.0)).len();
+        let night = generate_arrivals(&world, &window(3.0)).len();
+        assert!(
+            lunch > night * 2,
+            "the hour curve must shape traffic: lunch={lunch} night={night}"
+        );
+    }
+
+    #[test]
+    fn per_request_seeds_are_unique() {
+        let world = tiny_world();
+        let arrivals = generate_arrivals(&world, &ArrivalConfig::default());
+        let mut seeds: Vec<u64> = arrivals.iter().map(|a| a.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), arrivals.len(), "request seeds must not collide");
+    }
+}

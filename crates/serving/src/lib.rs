@@ -18,17 +18,33 @@
 //! statistics-prior ranker) that never panics and never returns an empty
 //! response. With no injector (or `BASM_FAULTS=0`) the pipeline is bitwise
 //! identical to the pre-fault implementation.
+//!
+//! On top of the per-request pipeline sits the batched front-end
+//! (DESIGN.md §10): [`arrivals`] generates deterministic Poisson traffic
+//! riding the world's hour-of-day curve, and [`frontend`] runs it through a
+//! bounded admission queue that coalesces concurrent requests into one
+//! packed-matmul microbatch per model pass ([`scorer::score_microbatch`]),
+//! shedding to the degradation ladder's statistics-prior rung when queue
+//! wait would breach the deadline budget. Batched execution is pinned
+//! bitwise-equal to sequential per-request scoring.
 
 pub mod ab_test;
+pub mod arrivals;
 pub mod feature_server;
+pub mod frontend;
 pub mod pipeline;
 pub mod recall;
 pub mod replay;
 pub mod scorer;
 
 pub use ab_test::{run_ab_test, AbConfig, AbResult, DayResult, SegmentBreakdown, Tally};
+pub use arrivals::{generate_arrivals, Arrival, ArrivalConfig};
 pub use feature_server::FeatureServer;
+pub use frontend::{
+    percentile_ns, run_load, CompletedRequest, CostModel, FrontendConfig, LoadOutcome,
+    LoadSummary, ShedReason,
+};
 pub use pipeline::{DeadlinePolicy, Exposure, Request, ServeError, ServingPipeline};
 pub use recall::LbsRecall;
 pub use replay::{position_ctr_profile, replay_top1, ReplayReport};
-pub use scorer::{score_candidates, score_sessions, SessionRequest};
+pub use scorer::{score_candidates, score_microbatch, score_sessions, ScoreJob, SessionRequest};

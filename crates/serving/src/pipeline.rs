@@ -41,11 +41,43 @@ use basm_faults::{FaultInjector, FeatureFault, RecallFault, ScoreFault};
 pub struct Exposure {
     /// Item index.
     pub item: u32,
-    /// 0-based exposure position.
-    pub position: u8,
+    /// 0-based exposure position. `u16`: a `u8` silently truncated ranks
+    /// past 255 when `top_k > 255` (positions wrapped back to 0).
+    pub position: u16,
     /// Model probability at scoring time (or the statistics-prior score when
     /// the request degraded past the model).
     pub score: f32,
+}
+
+/// Rank `scores` descending and take the first `top_k` as exposures.
+///
+/// Non-finite scores (NaN, ±inf — a model output can only legitimately be a
+/// probability) sink **below every finite score**: under a plain descending
+/// `total_cmp` a single NaN ranks above +inf and silently wins position 0.
+/// Among themselves non-finite scores keep the `total_cmp` order, so the
+/// ranking stays deterministic. Returns the exposures plus the count of
+/// non-finite scores seen (callers feed it to `serving.nonfinite_score`).
+pub(crate) fn rank_top_k(
+    scores: &[f32],
+    candidates: &[u32],
+    top_k: usize,
+) -> (Vec<Exposure>, usize) {
+    debug_assert_eq!(scores.len(), candidates.len());
+    let nonfinite = scores.iter().filter(|s| !s.is_finite()).count();
+    let mut ranked: Vec<(f32, u32)> =
+        scores.iter().copied().zip(candidates.iter().copied()).collect();
+    ranked.sort_by(|a, b| match (a.0.is_finite(), b.0.is_finite()) {
+        (true, false) => std::cmp::Ordering::Less,
+        (false, true) => std::cmp::Ordering::Greater,
+        _ => b.0.total_cmp(&a.0),
+    });
+    let exposures = ranked
+        .into_iter()
+        .take(top_k.min(1 + u16::MAX as usize))
+        .enumerate()
+        .map(|(rank, (score, item))| Exposure { item, position: rank as u16, score })
+        .collect();
+    (exposures, nonfinite)
 }
 
 /// An incoming recommendation request.
@@ -117,18 +149,27 @@ impl Default for DeadlinePolicy {
     }
 }
 
+/// The replica-lag rung's truncation: keep the oldest three quarters of the
+/// history, but always drop at least one trailing event when any exist.
+/// (The naive `len - len/4` is a no-op for histories shorter than 4: the
+/// stale counter fired but the serving path saw the fully fresh sequence.)
+#[cfg(feature = "faults")]
+pub(crate) fn stale_keep_len(len: usize) -> usize {
+    len.saturating_sub((len / 4).max(usize::from(len > 0)))
+}
+
 /// One serving arm: a model plus its online state.
 pub struct ServingPipeline {
     /// The ranking model.
     pub model: Box<dyn CtrModel>,
     /// The arm's online feature state.
     pub features: FeatureServer,
-    recall: LbsRecall,
-    top_k: usize,
-    pool: usize,
-    policy: DeadlinePolicy,
+    pub(crate) recall: LbsRecall,
+    pub(crate) top_k: usize,
+    pub(crate) pool: usize,
+    pub(crate) policy: DeadlinePolicy,
     #[cfg(feature = "faults")]
-    faults: Option<FaultInjector>,
+    pub(crate) faults: Option<FaultInjector>,
 }
 
 impl ServingPipeline {
@@ -248,7 +289,7 @@ impl ServingPipeline {
                     // sequence hasn't replicated yet. Serve what it has.
                     basm_obs::counter_add("serving.fault.feature_stale", 1);
                     let mut h = self.features.history_snapshot(req.uid);
-                    h.truncate(h.len() - h.len() / 4);
+                    h.truncate(stale_keep_len(h.len()));
                     break h;
                 }
                 FeatureFault::Timeout => {
@@ -348,9 +389,10 @@ impl ServingPipeline {
 
     /// Statistics-prior ranker (the last ladder rung): smoothed item CTR
     /// from the click/exposure counters the feature server already holds.
-    /// Deterministic and model-free.
-    #[cfg(feature = "faults")]
-    fn prior_scores(&self, candidates: &[u32]) -> Vec<f32> {
+    /// Deterministic and model-free. Also the shed rung of the batched
+    /// front-end (`frontend.rs`), so it compiles without the `faults`
+    /// feature.
+    pub(crate) fn prior_scores(&self, candidates: &[u32]) -> Vec<f32> {
         self.features.with_counters(|c| {
             candidates
                 .iter()
@@ -365,7 +407,7 @@ impl ServingPipeline {
     /// City-popularity recall (LBS-failure rung): the city's most-clicked
     /// items by the feature server's counters, ties broken by item id.
     #[cfg(feature = "faults")]
-    fn popularity_candidates(&self, city: u16) -> Vec<u32> {
+    pub(crate) fn popularity_candidates(&self, city: u16) -> Vec<u32> {
         self.features.with_counters(|c| {
             let mut pool = self.recall.city_pool(city).to_vec();
             pool.sort_by_key(|&iid| (std::cmp::Reverse(c.item_clicks[iid as usize]), iid));
@@ -388,26 +430,23 @@ impl ServingPipeline {
         })
     }
 
-    /// Rank by score, take the top-k, record the exposures.
-    fn rank_and_expose(&mut self, scores: Vec<f32>, candidates: Vec<u32>) -> Vec<Exposure> {
-        let mut ranked: Vec<(f32, u32)> =
-            scores.iter().copied().zip(candidates.iter().copied()).collect();
-        ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
-        ranked
-            .into_iter()
-            .take(self.top_k)
-            .enumerate()
-            .map(|(rank, (score, item))| {
-                self.features.record_exposure(item);
-                Exposure { item, position: rank as u8, score }
-            })
-            .collect()
+    /// Rank by score (non-finite scores sink — see [`rank_top_k`]), take the
+    /// top-k, record the exposures.
+    pub(crate) fn rank_and_expose(&mut self, scores: Vec<f32>, candidates: Vec<u32>) -> Vec<Exposure> {
+        let (exposures, nonfinite) = rank_top_k(&scores, &candidates, self.top_k);
+        if nonfinite > 0 {
+            basm_obs::counter_add("serving.nonfinite_score", nonfinite as u64);
+        }
+        for e in &exposures {
+            self.features.record_exposure(e.item);
+        }
+        exposures
     }
 }
 
 /// The serving-time context for a request (position 0 by production
 /// convention — see [`score_candidates`]).
-fn request_context(city: u16, req: Request) -> Context {
+pub(crate) fn request_context(city: u16, req: Request) -> Context {
     Context {
         day: req.day,
         hour: req.hour,
@@ -506,6 +545,81 @@ mod tests {
         // Errors render a readable message.
         let msg = ServeError::UnknownUser { uid: 9, n_users: 4 }.to_string();
         assert!(msg.contains("9") && msg.contains("4"), "unhelpful message: {msg}");
+    }
+
+    /// An injected NaN must never win top exposure: non-finite scores sink
+    /// below every finite one (they used to rank *above* +inf under the
+    /// plain descending `total_cmp` and silently take position 0).
+    ///
+    /// The NaN is injected at the score boundary, where it enters in
+    /// production: the tensor graph `debug_assert`s every forward value
+    /// finite, so in debug builds nothing non-finite can leave a model —
+    /// but that guard is compiled out of release serving, which is exactly
+    /// why the ranking layer must handle NaN itself.
+    #[test]
+    fn nan_score_sinks_below_all_finite_scores() {
+        let cfg = WorldConfig::tiny();
+        let world = World::generate(cfg.clone());
+        // top_k == candidate count so every scored candidate is exposed,
+        // including the NaN one — it must come last.
+        let mut pipe = clean_pipeline(&world, build_model("Wide&Deep", &cfg, 1), 8, 8);
+        let scores = vec![0.3, f32::NAN, 0.9, f32::INFINITY, 0.1, f32::NEG_INFINITY];
+        let candidates: Vec<u32> = (0..scores.len() as u32).collect();
+        let exposures = pipe.rank_and_expose(scores, candidates.clone());
+        assert_eq!(exposures.len(), candidates.len());
+        // Finite prefix first, score-descending; the non-finite tail after.
+        let finite = [2u32, 0, 4];
+        let got: Vec<u32> = exposures.iter().map(|e| e.item).collect();
+        assert_eq!(&got[..3], &finite, "finite scores must outrank non-finite: {exposures:?}");
+        for w in exposures[..3].windows(2) {
+            assert!(w[0].score >= w[1].score, "finite prefix must stay score-descending");
+        }
+        for e in &exposures[3..] {
+            assert!(!e.score.is_finite(), "only the sunk tail may be non-finite: {exposures:?}");
+        }
+        // Within the tail the descending total order still applies
+        // (positive NaN, then +inf, then -inf) — deterministic, if degraded.
+        assert!(exposures[3].score.is_nan());
+        assert!(exposures[4].score.is_infinite() && exposures[4].score > 0.0);
+        assert!(exposures[5].score.is_infinite() && exposures[5].score < 0.0);
+        // Exposure positions stayed dense and ordered.
+        for (rank, e) in exposures.iter().enumerate() {
+            assert_eq!(e.position as usize, rank);
+        }
+    }
+
+    /// Positions past 255 must survive: `rank as u8` used to wrap position
+    /// 256 back to 0, so a `top_k > 255` exposure list carried duplicate
+    /// (and wrong) positions.
+    #[test]
+    fn positions_past_255_do_not_wrap() {
+        let n = 300usize;
+        let scores: Vec<f32> = (0..n).map(|i| 1.0 - i as f32 / n as f32).collect();
+        let candidates: Vec<u32> = (0..n as u32).collect();
+        let (exposures, nonfinite) = rank_top_k(&scores, &candidates, n);
+        assert_eq!(nonfinite, 0);
+        assert_eq!(exposures.len(), n);
+        for (i, e) in exposures.iter().enumerate() {
+            assert_eq!(e.position as usize, i, "position truncated at rank {i}");
+        }
+        assert_eq!(exposures[256].position, 256u16);
+    }
+
+    /// The stale rung must actually shed trailing history: `len - len/4`
+    /// kept histories shorter than 4 fully intact while the fault counter
+    /// claimed staleness.
+    #[cfg(feature = "faults")]
+    #[test]
+    fn stale_truncation_drops_at_least_one_event() {
+        assert_eq!(stale_keep_len(0), 0);
+        assert_eq!(stale_keep_len(1), 0, "a 1-event history must lose its only event");
+        assert_eq!(stale_keep_len(2), 1, "short histories used to slip through untouched");
+        assert_eq!(stale_keep_len(3), 2);
+        assert_eq!(stale_keep_len(4), 3);
+        assert_eq!(stale_keep_len(8), 6);
+        for len in 1..64usize {
+            assert!(stale_keep_len(len) < len, "stale fetch must drop something at len {len}");
+        }
     }
 
     /// Exposures for a fixed seed, pinned. Any change to the zero-fault

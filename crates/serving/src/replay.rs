@@ -11,7 +11,7 @@
 use basm_core::model::{predict, CtrModel};
 use basm_data::Dataset;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Replay outcome for one policy.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -54,8 +54,12 @@ pub fn position_ctr_profile(ds: &Dataset, indices: &[usize]) -> Vec<f64> {
 /// top-1 pick's logged label feeds the CTR estimate, weighted by the
 /// position-bias correction for wherever that item was actually shown.
 pub fn replay_top1(model: &mut dyn CtrModel, ds: &Dataset, indices: &[usize]) -> ReplayReport {
-    // Group example indices by session.
-    let mut sessions: HashMap<u32, Vec<usize>> = HashMap::new();
+    // Group example indices by session. A `BTreeMap`, deliberately: the
+    // f64 `raw`/`debiased` sums below fold in map iteration order, and
+    // `HashMap` order varies run to run — which made the low bits of the
+    // report nondeterministic (the same last-ULP drift PR 1 fixed in
+    // `ndcg_at_k`).
+    let mut sessions: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
     for &i in indices {
         sessions.entry(ds.session[i]).or_default().push(i);
     }
@@ -141,6 +145,29 @@ mod tests {
             "trained policy should beat a uniform pick: {} vs {uniform}",
             after.ctr_at_1
         );
+    }
+
+    /// Two identical replays must agree to the last bit. With the session
+    /// grouping in a `HashMap` they generally did not: each run folded the
+    /// f64 `raw`/`debiased` sums in a different iteration order, so reruns
+    /// of the same policy on the same log drifted in the low mantissa bits.
+    #[test]
+    fn replay_is_bitwise_run_to_run_deterministic() {
+        let data = generate_dataset(&WorldConfig::tiny());
+        let ds = &data.dataset;
+        let test = ds.test_indices();
+        let run = || {
+            // A fresh identically-seeded model per run: nothing carries over.
+            let mut model = build_model("DIN", &ds.config, 3);
+            let rep = replay_top1(model.as_mut(), ds, &test);
+            (
+                rep.ctr_at_1.to_bits(),
+                rep.ctr_at_1_debiased.to_bits(),
+                rep.top1_agreement.to_bits(),
+                rep.sessions,
+            )
+        };
+        assert_eq!(run(), run(), "replay_top1 is not bitwise deterministic across runs");
     }
 
     #[test]

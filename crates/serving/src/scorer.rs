@@ -40,6 +40,71 @@ pub fn score_candidates(
     predict(model, &batch)
 }
 
+/// One request's slice of a cross-request microbatch (borrowed views — the
+/// coalescer owns the data).
+pub struct ScoreJob<'a> {
+    /// Requesting user index.
+    pub uid: usize,
+    /// The request's candidate items.
+    pub candidates: &'a [u32],
+    /// Request context (position is overridden to 0 at scoring time).
+    pub ctx: Context,
+    /// The user's behavior history at request time.
+    pub history: &'a VecDeque<BehaviorEvent>,
+}
+
+/// Score many requests' candidates in **one** model pass: every candidate
+/// row from every job is assembled into a single batch, run through one
+/// forward, and the flat score vector is split back per job.
+///
+/// Per-row bitwise contract (pinned by `tests/frontend_determinism.rs`):
+/// each row's score is identical to what [`score_candidates`] produces for
+/// that request alone against the same `counters`. Inference touches no
+/// cross-row state — matmuls accumulate per output row in a fixed k-order
+/// regardless of batch height, batch norm runs on running statistics, and
+/// the sequence ops reduce within a row — so coalescing changes wall-clock
+/// only, never bits. (Within a microbatch all jobs see the *same* counter
+/// snapshot; the caller defers exposure write-back until after the pass.)
+pub fn score_microbatch(
+    model: &mut dyn CtrModel,
+    world: &World,
+    jobs: &[ScoreJob<'_>],
+    counters: &StatCounters,
+) -> Vec<Vec<f32>> {
+    let total: usize = jobs.iter().map(|j| j.candidates.len()).sum();
+    if total == 0 {
+        return jobs.iter().map(|_| Vec::new()).collect();
+    }
+    let _span = basm_obs::span!("serving.microbatch", jobs = jobs.len(), rows = total);
+    let batch = {
+        let _t = basm_obs::hist_timer("serving.assemble_ns");
+        let mut ds = Dataset::empty(world.config.clone());
+        for job in jobs {
+            for &iid in job.candidates {
+                let scoring_ctx = Context { position: 0, ..job.ctx };
+                append_example(
+                    &mut ds, world, job.uid, iid, scoring_ctx, 0, false, 0.0, job.history,
+                    counters,
+                );
+            }
+        }
+        let indices: Vec<usize> = (0..total).collect();
+        ds.batch(&indices)
+    };
+    let flat = {
+        let _t = basm_obs::hist_timer("serving.predict_ns");
+        predict(model, &batch)
+    };
+    let mut out = Vec::with_capacity(jobs.len());
+    let mut off = 0usize;
+    for job in jobs {
+        let n = job.candidates.len();
+        out.push(flat[off..off + n].to_vec());
+        off += n;
+    }
+    out
+}
+
 /// One scoring request: a user, their candidate items and request context.
 #[derive(Debug, Clone)]
 pub struct SessionRequest {
@@ -120,6 +185,82 @@ mod tests {
             score_candidates(model.as_mut(), &world, 0, &cands, ctx, &history, &counters);
         assert_eq!(scores.len(), 3);
         assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    /// Coalescing must never change a row: every job's scores out of one
+    /// big microbatch pass must be bitwise identical to scoring that job
+    /// alone (same counters, same history).
+    #[test]
+    fn microbatch_rows_bitwise_match_per_request_scoring() {
+        let cfg = WorldConfig::tiny();
+        let world = World::generate(cfg.clone());
+        let mut counters = StatCounters::new(cfg.n_users, cfg.n_items);
+        // Non-trivial counters so the dense statistics features are not all
+        // zero.
+        for i in 0..cfg.n_items {
+            counters.item_exposures[i] = (i as u32 * 7) % 50;
+            counters.item_clicks[i] = (i as u32 * 3) % 11;
+        }
+        let ev = |item: u32| basm_data::BehaviorEvent {
+            item,
+            cat: (item as usize % cfg.n_categories) as u16,
+            brand: (item as usize % cfg.n_brands) as u16,
+            tp: (item % 5) as u8,
+            hour: (item % 24) as u8,
+            city: (item as usize % cfg.n_cities) as u16,
+            gx: (item as usize % cfg.geo_grid) as u8,
+            gy: (item as usize % cfg.geo_grid) as u8,
+        };
+        let histories: Vec<VecDeque<_>> = vec![
+            VecDeque::new(),
+            (0..3).map(|i| ev(i)).collect(),
+            (0..10).map(|i| ev(i * 2 + 1)).collect(),
+        ];
+        let jobs_data: Vec<(usize, Vec<u32>)> =
+            vec![(0, vec![1, 2, 3, 4]), (1, vec![9]), (2, vec![5, 6, 7, 8, 10, 11, 12])];
+        let ctx_for = |uid: usize| Context {
+            day: 0,
+            hour: 12,
+            tp: TimePeriod::Lunch,
+            city: world.users[uid].city,
+            geo: world.users[uid].geo,
+            position: 0,
+        };
+        let jobs: Vec<ScoreJob<'_>> = jobs_data
+            .iter()
+            .zip(histories.iter())
+            .map(|((uid, cands), history)| ScoreJob {
+                uid: *uid,
+                candidates: cands,
+                ctx: ctx_for(*uid),
+                history,
+            })
+            .collect();
+
+        let mut coalesced_model = build_model("BASM", &cfg, 1);
+        let coalesced = score_microbatch(coalesced_model.as_mut(), &world, &jobs, &counters);
+
+        let mut solo_model = build_model("BASM", &cfg, 1);
+        let solo: Vec<Vec<f32>> = jobs
+            .iter()
+            .map(|j| {
+                score_candidates(
+                    solo_model.as_mut(),
+                    &world,
+                    j.uid,
+                    j.candidates,
+                    j.ctx,
+                    j.history,
+                    &counters,
+                )
+            })
+            .collect();
+
+        let bits =
+            |v: &Vec<Vec<f32>>| -> Vec<Vec<u32>> {
+                v.iter().map(|r| r.iter().map(|s| s.to_bits()).collect()).collect()
+            };
+        assert_eq!(bits(&coalesced), bits(&solo), "coalescing changed a scored row");
     }
 
     #[test]

@@ -29,10 +29,18 @@ done
 # The buffer-recycling arena (DESIGN.md §9) must be purely an allocation
 # strategy: the tensor determinism/gradcheck suites have to stay green — and
 # bitwise identical — with the pool disabled (the cold pre-arena path) and
-# enabled, including under threads.
+# enabled, including under threads. The serving suite rides the same sweep:
+# the batched front-end (DESIGN.md §10) pins coalesced microbatch scoring
+# bitwise-equal to sequential per-request scoring, and that pin must hold
+# whichever matmul path (packed or scalar) executes the batch.
 for pool in 0 1; do
     echo "== tier1: basm-tensor tests (BASM_POOL=$pool, BASM_THREADS=4) =="
     BASM_POOL=$pool BASM_THREADS=4 cargo test -q -p basm-tensor --tests
+    echo "== tier1: basm-serving tests (BASM_POOL=$pool, BASM_THREADS=4) =="
+    BASM_POOL=$pool BASM_THREADS=4 cargo test -q -p basm-serving --tests
+    echo "== tier1: basm-serving tests --features faults (BASM_POOL=$pool, BASM_FAULTS=0.05) =="
+    BASM_POOL=$pool BASM_THREADS=4 BASM_FAULTS=0.05 \
+        cargo test -q -p basm-serving --features faults --tests
 done
 
 for obs in 0 1; do
