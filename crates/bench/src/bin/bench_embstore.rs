@@ -1,0 +1,211 @@
+//! **BENCH_embstore**: cost of restoring a model from disk with the two
+//! checkpoint formats (DESIGN.md §11):
+//!
+//! * **cold** — flat sealed envelope ([`load_model_file`]): every embedding
+//!   row is deserialized into RAM before the first prediction.
+//! * **warm** — checkpoint directory ([`load_model_dir`]): the dense envelope
+//!   is parsed, but the embedding shards are attached via mmap — no record is
+//!   deserialized, so the open cost is independent of table size.
+//!
+//! After the warm attach the binary drives a Zipf-ish lookup stream through
+//! the pack-backed store and reports the hot-row-cache hit rates, at two
+//! embedding scales (tiny and eleme-like worlds).
+
+use basm_bench::BenchEnv;
+use basm_core::checkpoint::{load_model_dir, load_model_file, save_model_dir, save_model_file};
+use basm_core::model::CtrModel;
+use basm_data::WorldConfig;
+use basm_tensor::packstore;
+use basm_tensor::Graph;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct CacheReport {
+    /// Lookups driven through the cached gather path.
+    lookups: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    hit_rate: f64,
+}
+
+#[derive(Serialize)]
+struct SizeReport {
+    /// World configuration name.
+    config: String,
+    /// Total embedding rows across tables.
+    emb_rows: usize,
+    /// Total embedding parameters (rows × dim summed over tables).
+    emb_params: usize,
+    /// Bytes of the flat sealed checkpoint.
+    flat_ckpt_bytes: u64,
+    /// Bytes of the checkpoint directory (dense envelope + pack shards).
+    pack_dir_bytes: u64,
+    /// Median seconds to restore via the flat deserialize path.
+    cold_load_secs: f64,
+    /// Median seconds to restore via mmap attach.
+    warm_attach_secs: f64,
+    /// cold / warm.
+    speedup: f64,
+    /// Embedding heap bytes resident immediately after the warm attach
+    /// (the zero-deserialize claim, in numbers).
+    resident_after_attach_bytes: usize,
+    cache: CacheReport,
+}
+
+#[derive(Serialize)]
+struct EmbstoreBench {
+    note: String,
+    sizes: Vec<SizeReport>,
+}
+
+fn dir_bytes(dir: &std::path::Path) -> u64 {
+    let mut total = 0;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let p = e.path();
+            total += if p.is_dir() {
+                dir_bytes(&p)
+            } else {
+                e.metadata().map(|m| m.len()).unwrap_or(0)
+            };
+        }
+    }
+    total
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+/// Drive a Zipf-ish id stream through every table's cached gather path and
+/// return the aggregate cache accounting.
+fn cache_workload(model: &mut dyn CtrModel, batches: usize) -> CacheReport {
+    let store = &mut model.embedder().emb;
+    let specs: Vec<(String, usize)> =
+        store.tables().map(|t| (t.name().to_string(), t.rows())).collect();
+    let mut state: u64 = 0x5EED;
+    let mut lookups = 0u64;
+    for _ in 0..batches {
+        for (name, rows) in &specs {
+            let id = store.id_of(name).expect("table exists");
+            let ids: Vec<u32> = (0..32)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    // Cube a uniform draw: ~Zipf-ish head-heavy skew, like
+                    // real uid/item traffic.
+                    let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                    ((u * u * u * *rows as f64) as u32).min(*rows as u32 - 1)
+                })
+                .collect();
+            let mut g = Graph::new();
+            std::hint::black_box(store.lookup(&mut g, id, &ids));
+            store.clear_journal();
+            lookups += ids.len() as u64;
+        }
+    }
+    let s = store.cache_stats();
+    CacheReport {
+        lookups,
+        hits: s.hits,
+        misses: s.misses,
+        evictions: s.evictions,
+        hit_rate: s.hit_rate(),
+    }
+}
+
+fn bench_config(cfg: &WorldConfig, reps: usize) -> SizeReport {
+    let scratch = packstore::fresh_temp_dir();
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+    let flat_path = scratch.join("flat.ckpt");
+    let dir_path = scratch.join("ckpt.d");
+
+    let mut source = basm_baselines::build_model("Wide&Deep", cfg, 1);
+    let emb_rows: usize = source.embedder().emb.tables().map(|t| t.rows()).sum();
+    let emb_params = source.embedder().emb.num_params();
+    save_model_file(source.as_mut(), &flat_path).expect("flat save");
+    save_model_dir(source.as_mut(), &dir_path).expect("dir save");
+
+    let mut cold_samples = Vec::with_capacity(reps);
+    let mut warm_samples = Vec::with_capacity(reps);
+    let mut resident = 0usize;
+    // Interleave the two load paths so host-speed drift hits both equally.
+    for _ in 0..reps {
+        let mut m = basm_baselines::build_model("Wide&Deep", cfg, 2);
+        let t0 = Instant::now();
+        load_model_file(m.as_mut(), &flat_path).expect("cold load");
+        cold_samples.push(t0.elapsed().as_secs_f64());
+
+        let mut m = basm_baselines::build_model("Wide&Deep", cfg, 2);
+        let t0 = Instant::now();
+        load_model_dir(m.as_mut(), &dir_path).expect("warm attach");
+        warm_samples.push(t0.elapsed().as_secs_f64());
+        resident = m.embedder().emb.memory_bytes();
+    }
+
+    // Cross-check: both restore paths must land on the same bits.
+    let mut cold = basm_baselines::build_model("Wide&Deep", cfg, 2);
+    load_model_file(cold.as_mut(), &flat_path).expect("cold load");
+    let mut warm = basm_baselines::build_model("Wide&Deep", cfg, 2);
+    load_model_dir(warm.as_mut(), &dir_path).expect("warm attach");
+    for (a, b) in cold.embedder().emb.tables().zip(warm.embedder().emb.tables()) {
+        for r in [0u32, (a.rows() as u32 - 1) / 2, a.rows() as u32 - 1] {
+            assert_eq!(
+                a.row(r).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.row(r).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "flat and pack restores disagree on {}[{r}]",
+                a.name()
+            );
+        }
+    }
+
+    let cache = cache_workload(warm.as_mut(), 200);
+    let cold_load_secs = median(cold_samples);
+    let warm_attach_secs = median(warm_samples);
+    let report = SizeReport {
+        config: cfg.name.clone(),
+        emb_rows,
+        emb_params,
+        flat_ckpt_bytes: std::fs::metadata(&flat_path).map(|m| m.len()).unwrap_or(0),
+        pack_dir_bytes: dir_bytes(&dir_path),
+        cold_load_secs,
+        warm_attach_secs,
+        speedup: cold_load_secs / warm_attach_secs,
+        resident_after_attach_bytes: resident,
+        cache,
+    };
+    eprintln!(
+        "[bench_embstore] {}: cold {:.2}ms vs warm {:.3}ms ({:.0}x), cache hit rate {:.1}%",
+        report.config,
+        report.cold_load_secs * 1e3,
+        report.warm_attach_secs * 1e3,
+        report.speedup,
+        report.cache.hit_rate * 100.0
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+    report
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let configs = if env.fast {
+        vec![WorldConfig::tiny()]
+    } else {
+        vec![WorldConfig::tiny(), WorldConfig::eleme_like()]
+    };
+    let sizes: Vec<SizeReport> = configs.iter().map(|c| bench_config(c, 9)).collect();
+    let report = EmbstoreBench {
+        note: "cold = flat sealed checkpoint, every embedding row deserialized; \
+               warm = checkpoint directory, shards mmap'd at attach (no per-row \
+               deserialize — resident_after_attach_bytes counts overlay+cache \
+               rows only). Cache stats from a head-heavy (u^3) id stream, \
+               32 ids/table/batch over 200 batches."
+            .to_string(),
+        sizes,
+    };
+    env.write_json("BENCH_embstore.json", &report);
+}

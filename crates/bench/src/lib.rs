@@ -72,11 +72,14 @@ impl BenchEnv {
         self.write(name, content);
     }
 
-    /// Write a text artifact without echoing.
+    /// Write a text artifact without echoing. The write is atomic (temp +
+    /// rename), so an interrupted bench never leaves a half-written artifact
+    /// where a previous full run's file used to be.
     pub fn write(&self, name: &str, content: &str) {
         std::fs::create_dir_all(&self.out_dir).expect("create results dir");
         let path = self.out_dir.join(name);
-        std::fs::write(&path, content).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        basm_tensor::packstore::atomic_write(&path, content.as_bytes())
+            .unwrap_or_else(|e| panic!("write {path:?}: {e}"));
         eprintln!("[artifact] {}", path.display());
     }
 

@@ -70,6 +70,12 @@ fn unseal(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
     let trailer = bytes
         .get(20 + len..20 + len + 4)
         .ok_or(CheckpointError::Truncated)?;
+    // Anything past the CRC trailer means the file is not what was sealed —
+    // a concatenation, a partial overwrite by a longer predecessor, or
+    // padding. Refuse it before trusting the CRC of the prefix.
+    if bytes.len() != 20 + len + 4 {
+        return Err(CheckpointError::TrailingBytes);
+    }
     let stored = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
     let actual = crc32(payload);
     if stored != actual {
@@ -87,7 +93,12 @@ pub fn save_model(model: &mut dyn CtrModel) -> Vec<u8> {
     let mut buf = begin_checkpoint(model.params());
     append_embeddings(&mut buf, &model.embedder().emb);
     let mut payload = buf.freeze().to_vec();
-    // BN section: count, then (mean, var) per layer in model order.
+    append_bn_section(&mut payload, model);
+    seal(payload)
+}
+
+/// Append the BN section: count, then (mean, var) per layer in model order.
+fn append_bn_section(payload: &mut Vec<u8>, model: &mut dyn CtrModel) {
     let bns = model.bn_layers();
     payload.extend_from_slice(&(bns.len() as u32).to_le_bytes());
     for bn in bns {
@@ -99,22 +110,12 @@ pub fn save_model(model: &mut dyn CtrModel) -> Vec<u8> {
             payload.extend_from_slice(&v.to_le_bytes());
         }
     }
-    seal(payload)
 }
 
-/// Restore a model from checkpoint bytes (same architecture required).
-/// Verifies the integrity envelope first: truncated or bit-flipped
-/// checkpoints are rejected with [`CheckpointError::Truncated`] /
-/// [`CheckpointError::ChecksumMismatch`] before any state is touched.
-pub fn load_model(model: &mut dyn CtrModel, bytes: &[u8]) -> Result<(), CheckpointError> {
-    let bytes = unseal(bytes)?;
-    let parsed = ParsedCheckpoint::parse(bytes)?;
-    let consumed = parsed.consumed();
-    parsed.apply_params(model.params())?;
-    parsed.apply_embeddings(&mut model.embedder().emb)?;
-
-    // BN section.
-    let rest = &bytes[consumed..];
+/// Parse and apply the BN section, which must be the *last* section of the
+/// payload: leftover bytes after it are rejected as
+/// [`CheckpointError::TrailingBytes`].
+fn load_bn_section(model: &mut dyn CtrModel, rest: &[u8]) -> Result<(), CheckpointError> {
     let take_u32 = |b: &[u8], at: usize| -> Result<u32, CheckpointError> {
         b.get(at..at + 4)
             .map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
@@ -147,15 +148,34 @@ pub fn load_model(model: &mut dyn CtrModel, bytes: &[u8]) -> Result<(), Checkpoi
         bn.import_stats(&mean, &var);
         at += need;
     }
+    if at != rest.len() {
+        return Err(CheckpointError::TrailingBytes);
+    }
     Ok(())
 }
 
-/// Write a checkpoint to disk.
+/// Restore a model from checkpoint bytes (same architecture required).
+/// Verifies the integrity envelope first: truncated or bit-flipped
+/// checkpoints are rejected with [`CheckpointError::Truncated`] /
+/// [`CheckpointError::ChecksumMismatch`] before any state is touched.
+pub fn load_model(model: &mut dyn CtrModel, bytes: &[u8]) -> Result<(), CheckpointError> {
+    let bytes = unseal(bytes)?;
+    let parsed = ParsedCheckpoint::parse(bytes)?;
+    let consumed = parsed.consumed();
+    parsed.apply_params(model.params())?;
+    parsed.apply_embeddings(&mut model.embedder().emb)?;
+    load_bn_section(model, &bytes[consumed..])
+}
+
+/// Write a checkpoint to disk **atomically**: the bytes land in a temp file
+/// next to the target and are renamed over it, so a crash mid-save leaves the
+/// previous checkpoint untouched — never a truncated hybrid that the loader
+/// would (rightly) reject.
 pub fn save_model_file(
     model: &mut dyn CtrModel,
     path: impl AsRef<std::path::Path>,
 ) -> std::io::Result<()> {
-    std::fs::write(path, save_model(model))
+    basm_tensor::packstore::atomic_write(path, &save_model(model))
 }
 
 /// Read a checkpoint from disk into a freshly-constructed model.
@@ -166,6 +186,63 @@ pub fn load_model_file(
     let bytes = std::fs::read(path)?;
     load_model(model, &bytes)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Name of the dense/BN envelope inside a checkpoint directory.
+const DENSE_FILE: &str = "dense.ckpt";
+/// Name of the embedding pack directory inside a checkpoint directory.
+const EMB_DIR: &str = "emb";
+
+/// Save a model as a **checkpoint directory**: dense parameters + BN stats in
+/// a sealed `dense.ckpt`, and every embedding table as a pack directory under
+/// `emb/` (shards + fan-out index + manifest, all written atomically). Unlike
+/// [`save_model_file`], the embedding rows are not funneled through one flat
+/// buffer, and [`load_model_dir`] can reopen them zero-copy.
+pub fn save_model_dir(
+    model: &mut dyn CtrModel,
+    dir: impl AsRef<std::path::Path>,
+) -> std::io::Result<()> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    model
+        .embedder()
+        .emb
+        .export_pack_dir(&dir.join(EMB_DIR))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e.to_string()))?;
+    // Dense envelope with an embedding count of zero: tables live in emb/.
+    let buf = begin_checkpoint(model.params());
+    let mut payload = buf.freeze().to_vec();
+    payload.extend_from_slice(&0u32.to_le_bytes());
+    append_bn_section(&mut payload, model);
+    basm_tensor::packstore::atomic_write(dir.join(DENSE_FILE), &seal(payload))
+}
+
+/// Warm-start a model from a checkpoint directory written by
+/// [`save_model_dir`]: dense parameters and BN stats are restored from the
+/// sealed envelope, and the embedding store attaches to the pack directory —
+/// shards are opened via mmap and **no embedding record is deserialized**.
+/// The store is pack-backed afterwards regardless of `BASM_EMB_STORE`.
+pub fn load_model_dir(
+    model: &mut dyn CtrModel,
+    dir: impl AsRef<std::path::Path>,
+) -> std::io::Result<()> {
+    let dir = dir.as_ref();
+    let to_io =
+        |e: String| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
+    let bytes = std::fs::read(dir.join(DENSE_FILE))?;
+    (|| -> Result<(), CheckpointError> {
+        let payload = unseal(&bytes)?;
+        let parsed = ParsedCheckpoint::parse(payload)?;
+        let consumed = parsed.consumed();
+        parsed.apply_params(model.params())?;
+        load_bn_section(model, &payload[consumed..])
+    })()
+    .map_err(|e| to_io(e.to_string()))?;
+    model
+        .embedder()
+        .emb
+        .attach_pack_dir(&dir.join(EMB_DIR))
+        .map_err(|e| to_io(e.to_string()))
 }
 
 #[cfg(test)]
@@ -215,6 +292,120 @@ mod tests {
         load_model_file(&mut fresh, &path).unwrap();
         assert_eq!(predict(&mut fresh, &batch), expected);
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn dir_roundtrip_restores_predictions_without_deserialize() {
+        let cfg = WorldConfig::tiny();
+        let data = generate_dataset(&cfg);
+        let batch = data.dataset.batch(&(0..16).collect::<Vec<_>>());
+        let mut trained = Basm::new(&cfg, BasmConfig::default());
+        let mut opt = AdagradDecay::paper_default();
+        for _ in 0..3 {
+            train_step(&mut trained, &batch, &mut opt, 0.05, None);
+        }
+        let expected: Vec<u32> =
+            predict(&mut trained, &batch).iter().map(|p| p.to_bits()).collect();
+
+        let dir = std::env::temp_dir().join(format!("basm_ckpt_dir_{}", std::process::id()));
+        save_model_dir(&mut trained, &dir).unwrap();
+
+        let mut fresh = Basm::new(&cfg, BasmConfig { seed: 99, ..BasmConfig::default() });
+        load_model_dir(&mut fresh, &dir).unwrap();
+        // The attach opened the shards zero-copy: pack-backed, nothing resident.
+        let emb = &fresh.embedder().emb;
+        assert!(emb.tables().all(|t| t.is_pack()), "warm start must attach, not deserialize");
+        assert_eq!(emb.memory_bytes(), 0, "no record should be resident after attach");
+        let got: Vec<u32> = predict(&mut fresh, &batch).iter().map(|p| p.to_bits()).collect();
+        assert_eq!(got, expected);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_load_continue_matches_uninterrupted_training() {
+        use basm_tensor::optim::Sgd;
+        let cfg = WorldConfig::tiny();
+        let data = generate_dataset(&cfg);
+        let warm = data.dataset.batch(&(0..16).collect::<Vec<_>>());
+        let cont = data.dataset.batch(&(16..32).collect::<Vec<_>>());
+
+        // Uninterrupted: warm-up steps, then continuation steps. The dense
+        // optimizer is stateless SGD so the embedding Adagrad accumulators
+        // are the only optimizer state crossing the checkpoint: if the save
+        // path dropped them (the old `overwrite_table` zeroed them on load),
+        // the continued trajectory would diverge from this one.
+        let mut a = Basm::new(&cfg, BasmConfig::default());
+        let mut opt_a = Sgd::new(0.0);
+        for _ in 0..3 {
+            train_step(&mut a, &warm, &mut opt_a, 0.05, None);
+        }
+        let bytes = save_model(&mut a);
+        for _ in 0..3 {
+            train_step(&mut a, &cont, &mut opt_a, 0.05, None);
+        }
+        let expected: Vec<u32> = predict(&mut a, &cont).iter().map(|p| p.to_bits()).collect();
+
+        // Interrupted: restore the checkpoint into a fresh model, continue
+        // with the identical steps — must land on identical bits.
+        let mut b = Basm::new(&cfg, BasmConfig { seed: 1234, ..BasmConfig::default() });
+        load_model(&mut b, &bytes).unwrap();
+        let mut opt_b = Sgd::new(0.0);
+        for _ in 0..3 {
+            train_step(&mut b, &cont, &mut opt_b, 0.05, None);
+        }
+        let got: Vec<u32> = predict(&mut b, &cont).iter().map(|p| p.to_bits()).collect();
+        assert_eq!(got, expected, "restored training must continue bitwise-identically");
+    }
+
+    #[test]
+    fn partial_write_never_clobbers_previous_checkpoint() {
+        let cfg = WorldConfig::tiny();
+        let data = generate_dataset(&cfg);
+        let batch = data.dataset.batch(&[0, 1, 2]);
+        let dir = std::env::temp_dir().join(format!("basm_ckpt_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+
+        let mut model = Basm::new(&cfg, BasmConfig::default());
+        save_model_file(&mut model, &path).unwrap();
+        let expected: Vec<u32> = predict(&mut model, &batch).iter().map(|p| p.to_bits()).collect();
+
+        // Simulate a writer that died mid-save: with write-temp + rename, the
+        // torn bytes live under a temp name, never the real one. (The old
+        // `std::fs::write(final_path)` would have left `path` itself torn.)
+        let full = save_model(&mut model);
+        std::fs::write(dir.join(".model.ckpt.tmp-dead-0"), &full[..full.len() / 2]).unwrap();
+
+        let mut fresh = Basm::new(&cfg, BasmConfig { seed: 31, ..BasmConfig::default() });
+        load_model_file(&mut fresh, &path).expect("previous checkpoint must survive a torn save");
+        let got: Vec<u32> = predict(&mut fresh, &batch).iter().map(|p| p.to_bits()).collect();
+        assert_eq!(got, expected);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let cfg = WorldConfig::tiny();
+        let mut model = Basm::new(&cfg, BasmConfig::default());
+        let bytes = save_model(&mut model);
+        let mut fresh = Basm::new(&cfg, BasmConfig { seed: 7, ..BasmConfig::default() });
+
+        // Garbage after the envelope's CRC trailer (e.g. two checkpoints
+        // concatenated, or a short rewrite over a longer predecessor).
+        let mut padded = bytes.clone();
+        padded.extend_from_slice(b"garbage");
+        assert_eq!(load_model(&mut fresh, &padded), Err(CheckpointError::TrailingBytes));
+
+        // Garbage *inside* the sealed payload, after the BN section: the CRC
+        // is valid (it was sealed over the junk), so only the section-level
+        // length check can catch it.
+        let mut payload = unseal(&bytes).unwrap().to_vec();
+        payload.extend_from_slice(b"junk");
+        let resealed = seal(payload);
+        assert_eq!(load_model(&mut fresh, &resealed), Err(CheckpointError::TrailingBytes));
+
+        // The pristine bytes still load.
+        load_model(&mut fresh, &bytes).unwrap();
     }
 
     #[test]

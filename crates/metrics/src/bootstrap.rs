@@ -45,20 +45,43 @@ pub fn bootstrap_metric(
     assert!((0.0..1.0).contains(&(1.0 - level)), "level must be in (0,1)");
     let n = scores.len();
     let point = metric(scores, labels)?;
-    // Small xorshift so this crate needs no RNG dependency.
-    let mut state = seed | 1;
+    // Small xorshift so this crate needs no RNG dependency. The raw seed is
+    // first run through SplitMix64: the previous `seed | 1` nonzero guard
+    // aliased every even seed to its odd neighbor (2k and 2k+1 drew the same
+    // resamples), which silently halved any multi-seed study.
+    let mut state = {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    if state == 0 {
+        // xorshift's fixed point; unreachable for any input except the one
+        // seed SplitMix64 maps to 0.
+        state = 0x9E37_79B9_7F4A_7C15;
+    }
     let mut next = move || {
         state ^= state << 13;
         state ^= state >> 7;
         state ^= state << 17;
         state
     };
+    // Unbiased bounded sampling (Lemire): `next() % n` over-weights small
+    // indices whenever n doesn't divide 2^64.
+    let bound = n as u64;
+    let threshold = bound.wrapping_neg() % bound;
+    let mut next_index = move || loop {
+        let m = (next() as u128) * (bound as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as usize;
+        }
+    };
     let mut estimates = Vec::with_capacity(resamples);
     let mut s = vec![0.0f32; n];
     let mut l = vec![0.0f32; n];
     for _ in 0..resamples {
         for i in 0..n {
-            let j = (next() % n as u64) as usize;
+            let j = next_index();
             s[i] = scores[j];
             l[i] = labels[j];
         }
@@ -139,6 +162,29 @@ mod tests {
     #[test]
     fn degenerate_sample_is_none() {
         assert!(bootstrap_auc(&[0.5, 0.6], &[1.0, 1.0], 10, 1).is_none());
+    }
+
+    #[test]
+    fn adjacent_seeds_draw_different_resamples() {
+        // Regression: `state = seed | 1` made seeds 2k and 2k+1 identical, so
+        // a "10-seed" bootstrap study really ran 5 distinct ones.
+        let (s, l) = toy(100, 0.2);
+        for k in [0u64, 2, 6, 40, 1000] {
+            let a = bootstrap_auc(&s, &l, 50, k).unwrap();
+            let b = bootstrap_auc(&s, &l, 50, k + 1).unwrap();
+            assert!(
+                a.lo != b.lo || a.hi != b.hi,
+                "seed {k} and {} produced identical intervals",
+                k + 1
+            );
+        }
+    }
+
+    #[test]
+    fn seed_zero_is_usable() {
+        let (s, l) = toy(100, 1.0);
+        let est = bootstrap_auc(&s, &l, 50, 0).unwrap();
+        assert!(est.lo <= est.point && est.point <= est.hi);
     }
 
     #[test]

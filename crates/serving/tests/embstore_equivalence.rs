@@ -1,0 +1,85 @@
+//! Embedding-backend equivalence through the serving path (DESIGN.md §11):
+//! a pipeline whose model serves its embedding rows out of mmap'd pack files
+//! must produce bitwise identical exposures — item, position, and score bits
+//! — to the same pipeline backed by plain RAM tables, across worker-thread
+//! counts. `scripts/tier1.sh` additionally sweeps this suite under
+//! `BASM_EMB_STORE={ram,pack}` and `BASM_POOL={0,1}` so the ambient-env
+//! combinations get the same pin.
+
+use basm_baselines::build_model;
+use basm_data::{World, WorldConfig};
+use basm_serving::{generate_arrivals, run_load, ArrivalConfig, FrontendConfig, ServingPipeline};
+use basm_tensor::packstore::{set_emb_store, StoreMode};
+use basm_tensor::pool;
+
+/// Per-request exposure identity down to score bits.
+fn signature(
+    out: &basm_serving::LoadOutcome,
+) -> Vec<(usize, usize, Vec<(u32, u16, u32)>)> {
+    out.completed
+        .iter()
+        .map(|c| {
+            (
+                c.arrival,
+                c.uid,
+                c.exposures.iter().map(|e| (e.item, e.position, e.score.to_bits())).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Build a pipeline with the embedding backend forced to `mode`, run the
+/// shared arrival schedule, and return (signature, was-actually-pack).
+fn run_with_mode(
+    world: &World,
+    arrivals: &[basm_serving::Arrival],
+    mode: StoreMode,
+) -> (Vec<(usize, usize, Vec<(u32, u16, u32)>)>, bool) {
+    set_emb_store(Some(mode));
+    let model = build_model("Wide&Deep", &world.config, 1);
+    set_emb_store(None);
+    #[allow(unused_mut)]
+    let mut pipe = ServingPipeline::new(world, model, 16, 6);
+    #[cfg(feature = "faults")]
+    pipe.set_faults(None);
+    let out = run_load(&mut pipe, world, arrivals, &FrontendConfig::default());
+    let store = &pipe.model.embedder().emb;
+    let packed = store.mode() == StoreMode::Pack;
+    (signature(&out), packed)
+}
+
+/// The acceptance pin: pack-backed and RAM-backed serving are the same
+/// function, to the bit, at 1 and 4 worker threads.
+#[test]
+fn pack_and_ram_serving_are_bitwise_identical_across_threads() {
+    let world = World::generate(WorldConfig::tiny());
+    let arrivals = generate_arrivals(
+        &world,
+        &ArrivalConfig { qps: 300.0, duration_ns: 1_500_000_000, ..ArrivalConfig::default() },
+    );
+    assert!(arrivals.len() > 50, "need real traffic, got {}", arrivals.len());
+
+    let mut reference = None;
+    for threads in [1usize, 4] {
+        pool::set_threads(threads);
+        let (ram_sig, ram_packed) = run_with_mode(&world, &arrivals, StoreMode::Ram);
+        let (pack_sig, pack_packed) = run_with_mode(&world, &arrivals, StoreMode::Pack);
+        assert!(!ram_packed, "ram run must not be pack-backed");
+        assert!(pack_packed, "pack run never engaged the pack backend");
+        assert!(
+            ram_sig.iter().any(|(_, _, e)| !e.is_empty()),
+            "no exposures served; the pin is vacuous"
+        );
+        assert_eq!(
+            ram_sig, pack_sig,
+            "pack-backed serving diverged from RAM at {threads} threads"
+        );
+        match &reference {
+            None => reference = Some(ram_sig),
+            Some(r) => {
+                assert_eq!(r, &ram_sig, "serving diverged across thread counts")
+            }
+        }
+    }
+    pool::set_threads(0);
+}

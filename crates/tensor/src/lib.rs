@@ -37,6 +37,7 @@ pub mod graph;
 pub mod linalg;
 pub mod nn;
 pub mod optim;
+pub mod packstore;
 pub mod params;
 pub mod pool;
 pub mod serialize;

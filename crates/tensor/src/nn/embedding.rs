@@ -10,28 +10,52 @@
 //!
 //! Row 0 of every table is the padding/OOV row: it stays frozen at zero so
 //! padded sequence positions contribute nothing even without masking.
+//!
+//! ## Backends
+//!
+//! A table's rows live either in RAM `Vec<f32>`s (the default) or in an
+//! mmap-backed pack directory ([`crate::packstore`]), selected per store by
+//! `BASM_EMB_STORE=ram|pack` at creation time. Records round-trip f32 bits
+//! exactly, and both backends run the same update arithmetic in the same
+//! order, so the choice is invisible to results — training trajectories and
+//! predictions are bitwise identical (pinned by `tests/packstore_backend.rs`
+//! and the serving equivalence suite).
 
 use crate::graph::{Graph, Var};
+use crate::packstore::{
+    self, emb_store_mode, write_manifest, ManifestEntry, PackError, PackOptions, PackTable,
+    StoreMode,
+};
 use crate::rng::Prng;
 use crate::tensor::Tensor;
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 
 /// Identifier of a table inside an [`EmbeddingStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TableId(usize);
+
+/// Where a table's records live.
+enum Backing {
+    /// Flat RAM buffers (the seed behavior).
+    Ram { weights: Vec<f32>, accum: Vec<f32> },
+    /// Pack directory: mmap'd base shards + overlay + hot-row cache.
+    Pack(PackTable),
+}
 
 /// A single embedding matrix `[rows, dim]` with Adagrad accumulators.
 pub struct EmbeddingTable {
     name: String,
     rows: usize,
     dim: usize,
-    weights: Vec<f32>,
-    accum: Vec<f32>,
+    backing: Backing,
 }
 
 impl EmbeddingTable {
     /// Create a table with `N(0, init_std²)` entries; row 0 is zeroed
-    /// (padding).
+    /// (padding). Always starts RAM-backed so the RNG draws are identical
+    /// whatever backend the store later selects; see
+    /// [`EmbeddingTable::to_pack`].
     pub fn new(rng: &mut Prng, name: impl Into<String>, rows: usize, dim: usize, init_std: f32) -> Self {
         assert!(rows >= 1 && dim >= 1, "EmbeddingTable: empty shape");
         let mut weights = Vec::with_capacity(rows * dim);
@@ -39,7 +63,8 @@ impl EmbeddingTable {
             weights.push(rng.normal() * init_std);
         }
         weights[..dim].iter_mut().for_each(|w| *w = 0.0);
-        Self { name: name.into(), rows, dim, weights, accum: vec![0.0; rows * dim] }
+        let accum = vec![0.0; rows * dim];
+        Self { name: name.into(), rows, dim, backing: Backing::Ram { weights, accum } }
     }
 
     /// Table name.
@@ -57,14 +82,52 @@ impl EmbeddingTable {
         self.dim
     }
 
-    /// The embedding of a single id.
-    pub fn row(&self, id: u32) -> &[f32] {
-        let id = id as usize;
-        assert!(id < self.rows, "embedding id {id} out of {} rows of {}", self.rows, self.name);
-        &self.weights[id * self.dim..(id + 1) * self.dim]
+    /// Whether the rows live in a pack directory rather than RAM.
+    pub fn is_pack(&self) -> bool {
+        matches!(self.backing, Backing::Pack(_))
     }
 
-    /// Gather `ids` into a dense `[ids.len(), dim]` tensor.
+    /// The pack table behind this table, when pack-backed.
+    pub fn pack(&self) -> Option<&PackTable> {
+        match &self.backing {
+            Backing::Pack(p) => Some(p),
+            Backing::Ram { .. } => None,
+        }
+    }
+
+    fn check_id(&self, id: u32) {
+        assert!(
+            (id as usize) < self.rows,
+            "embedding id {id} out of {} rows of {}",
+            self.rows,
+            self.name
+        );
+    }
+
+    /// The embedding of a single id.
+    pub fn row(&self, id: u32) -> &[f32] {
+        self.check_id(id);
+        match &self.backing {
+            Backing::Ram { weights, .. } => {
+                &weights[id as usize * self.dim..(id as usize + 1) * self.dim]
+            }
+            Backing::Pack(p) => &p.record(id)[..self.dim],
+        }
+    }
+
+    /// The Adagrad accumulator row of a single id.
+    pub fn accum_row(&self, id: u32) -> &[f32] {
+        self.check_id(id);
+        match &self.backing {
+            Backing::Ram { accum, .. } => {
+                &accum[id as usize * self.dim..(id as usize + 1) * self.dim]
+            }
+            Backing::Pack(p) => &p.record(id)[self.dim..],
+        }
+    }
+
+    /// Gather `ids` into a dense `[ids.len(), dim]` tensor, bypassing the
+    /// hot-row cache (read-only callers).
     pub fn gather(&self, ids: &[u32]) -> Tensor {
         let mut out = Tensor::zeros(ids.len(), self.dim);
         for (r, &id) in ids.iter().enumerate() {
@@ -73,27 +136,68 @@ impl EmbeddingTable {
         out
     }
 
+    /// Gather through the hot-row cache when pack-backed (the training and
+    /// serving hot path); identical bits to [`EmbeddingTable::gather`].
+    pub fn gather_cached(&mut self, ids: &[u32]) -> Tensor {
+        match &mut self.backing {
+            Backing::Ram { .. } => self.gather(ids),
+            Backing::Pack(p) => {
+                let dim = self.dim;
+                let mut out = Tensor::zeros(ids.len(), dim);
+                for (r, &id) in ids.iter().enumerate() {
+                    assert!(
+                        (id as usize) < self.rows,
+                        "embedding id {id} out of {} rows of {}",
+                        self.rows,
+                        self.name
+                    );
+                    out.row_mut(r).copy_from_slice(&p.record_cached(id)[..dim]);
+                }
+                out
+            }
+        }
+    }
+
     /// Scatter-apply Adagrad updates: `grad` is `[ids.len(), dim]`. Duplicate
     /// ids are accumulated before the update (one Adagrad step per distinct
     /// row per call). Row 0 is skipped (frozen padding).
     pub fn apply_grad(&mut self, ids: &[u32], grad: &Tensor, lr: f32, eps: f32) {
         assert_eq!(grad.shape(), (ids.len(), self.dim), "apply_grad shape mismatch");
+        let dim = self.dim;
         let mut by_row: HashMap<u32, Vec<f32>> = HashMap::new();
         for (r, &id) in ids.iter().enumerate() {
             if id == 0 {
                 continue;
             }
-            let acc = by_row.entry(id).or_insert_with(|| vec![0.0; self.dim]);
+            self.check_id(id);
+            let acc = by_row.entry(id).or_insert_with(|| vec![0.0; dim]);
             for (a, &g) in acc.iter_mut().zip(grad.row(r).iter()) {
                 *a += g;
             }
         }
-        for (id, gacc) in by_row {
-            let base = id as usize * self.dim;
-            for (j, &g) in gacc.iter().enumerate() {
-                let slot = base + j;
-                self.accum[slot] += g * g;
-                self.weights[slot] -= lr * g / (self.accum[slot].sqrt() + eps);
+        // Distinct rows update independent slots, so the (hash-ordered)
+        // iteration order cannot change the final state — and both backings
+        // run the exact same per-coordinate arithmetic.
+        match &mut self.backing {
+            Backing::Ram { weights, accum } => {
+                for (id, gacc) in by_row {
+                    let base = id as usize * dim;
+                    for (j, &g) in gacc.iter().enumerate() {
+                        let slot = base + j;
+                        accum[slot] += g * g;
+                        weights[slot] -= lr * g / (accum[slot].sqrt() + eps);
+                    }
+                }
+            }
+            Backing::Pack(p) => {
+                for (id, gacc) in by_row {
+                    let mut rec = p.record_cached(id).to_vec();
+                    for (j, &g) in gacc.iter().enumerate() {
+                        rec[dim + j] += g * g;
+                        rec[j] -= lr * g / (rec[dim + j].sqrt() + eps);
+                    }
+                    p.write_record(id, &rec);
+                }
             }
         }
     }
@@ -103,9 +207,63 @@ impl EmbeddingTable {
         self.rows * self.dim
     }
 
-    /// Bytes held by weights + optimizer state.
+    /// Heap bytes held by weights + optimizer state. For a pack-backed table
+    /// this counts only resident rows (overlay, pending deltas, cache) — the
+    /// mmap'd base pages belong to the OS page cache.
     pub fn memory_bytes(&self) -> usize {
-        (self.weights.len() + self.accum.len()) * std::mem::size_of::<f32>()
+        match &self.backing {
+            Backing::Ram { weights, accum } => {
+                (weights.len() + accum.len()) * std::mem::size_of::<f32>()
+            }
+            Backing::Pack(p) => p.resident_bytes(),
+        }
+    }
+
+    /// Flat copies of the weights and accumulators (checkpoint save).
+    pub fn snapshot(&self) -> (Vec<f32>, Vec<f32>) {
+        match &self.backing {
+            Backing::Ram { weights, accum } => (weights.clone(), accum.clone()),
+            Backing::Pack(p) => p.snapshot(),
+        }
+    }
+
+    /// Overwrite weights and accumulators from flat `rows*dim` buffers
+    /// (checkpoint restore).
+    pub fn overwrite(&mut self, weights: &[f32], accum: &[f32]) {
+        assert_eq!(weights.len(), self.rows * self.dim, "overwrite: weights size");
+        assert_eq!(accum.len(), self.rows * self.dim, "overwrite: accum size");
+        match &mut self.backing {
+            Backing::Ram { weights: w, accum: a } => {
+                w.copy_from_slice(weights);
+                a.copy_from_slice(accum);
+            }
+            Backing::Pack(p) => {
+                p.rewrite(weights, accum).expect("pack rewrite failed");
+            }
+        }
+    }
+
+    /// Convert a RAM-backed table to pack backing inside `dir` (writing its
+    /// shards + index there). No-op when already pack-backed. The converted
+    /// table serves bit-identical rows.
+    pub fn to_pack(&mut self, dir: &Path, opts: PackOptions) -> Result<(), PackError> {
+        if self.is_pack() {
+            return Ok(());
+        }
+        let (weights, accum) = self.snapshot();
+        packstore::write_table(dir, &self.name, self.rows, self.dim, &weights, &accum, opts)?;
+        self.backing =
+            Backing::Pack(PackTable::open(dir, &self.name, self.rows, self.dim, opts)?);
+        Ok(())
+    }
+
+    /// Swap this table's backing to an existing pack directory (warm start):
+    /// opens the shards zero-copy and replays deltas, discarding the current
+    /// in-RAM values without reading a single record.
+    pub fn attach_pack(&mut self, dir: &Path, opts: PackOptions) -> Result<(), PackError> {
+        self.backing =
+            Backing::Pack(PackTable::open(dir, &self.name, self.rows, self.dim, opts)?);
+        Ok(())
     }
 }
 
@@ -117,22 +275,62 @@ struct PendingLookup {
 
 /// A set of named embedding tables plus the lookup journal that connects them
 /// to an autograd [`Graph`].
-#[derive(Default)]
 pub struct EmbeddingStore {
     tables: Vec<EmbeddingTable>,
     by_name: HashMap<String, TableId>,
     journal: Vec<PendingLookup>,
+    mode: StoreMode,
+    pack_dir: Option<PathBuf>,
+    owns_dir: bool,
     /// Sparse-Adagrad epsilon shared by all tables.
     pub eps: f32,
 }
 
+impl Default for EmbeddingStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl EmbeddingStore {
-    /// An empty store.
+    /// An empty store. The backend of tables added later is fixed here from
+    /// `BASM_EMB_STORE` (or the [`packstore::set_emb_store`] override).
     pub fn new() -> Self {
-        Self { tables: Vec::new(), by_name: HashMap::new(), journal: Vec::new(), eps: 1e-6 }
+        Self {
+            tables: Vec::new(),
+            by_name: HashMap::new(),
+            journal: Vec::new(),
+            mode: emb_store_mode(),
+            pack_dir: None,
+            owns_dir: false,
+            eps: 1e-6,
+        }
     }
 
-    /// Register a table; names must be unique.
+    /// The backend newly added tables get.
+    pub fn mode(&self) -> StoreMode {
+        self.mode
+    }
+
+    /// The pack directory backing this store, if any.
+    pub fn pack_dir(&self) -> Option<&Path> {
+        self.pack_dir.as_deref()
+    }
+
+    fn ensure_pack_dir(&mut self) -> PathBuf {
+        if self.pack_dir.is_none() {
+            let dir = packstore::fresh_temp_dir();
+            std::fs::create_dir_all(&dir).expect("create pack temp dir");
+            self.pack_dir = Some(dir);
+            self.owns_dir = true;
+        }
+        self.pack_dir.clone().expect("just ensured")
+    }
+
+    /// Register a table; names must be unique. In pack mode the freshly
+    /// initialized rows are immediately written to the store's pack directory
+    /// (RNG draws happen first either way, so both backends start from the
+    /// same bits).
     pub fn add_table(
         &mut self,
         rng: &mut Prng,
@@ -145,7 +343,12 @@ impl EmbeddingStore {
         assert!(!self.by_name.contains_key(&name), "duplicate table {name:?}");
         let id = TableId(self.tables.len());
         self.by_name.insert(name.clone(), id);
-        self.tables.push(EmbeddingTable::new(rng, name, rows, dim, init_std));
+        let mut table = EmbeddingTable::new(rng, name, rows, dim, init_std);
+        if self.mode == StoreMode::Pack {
+            let dir = self.ensure_pack_dir();
+            table.to_pack(&dir, PackOptions::default()).expect("pack conversion failed");
+        }
+        self.tables.push(table);
         id
     }
 
@@ -162,13 +365,14 @@ impl EmbeddingStore {
     /// Gather `ids` onto the tape as a gradient-requiring leaf `[ids.len(), dim]`
     /// and record the lookup for the later sparse update.
     pub fn lookup(&mut self, g: &mut Graph, table: TableId, ids: &[u32]) -> Var {
-        let dense = self.tables[table.0].gather(ids);
+        let dense = self.tables[table.0].gather_cached(ids);
         let var = g.input_with_grad(dense);
         self.journal.push(PendingLookup { table, ids: ids.to_vec(), var });
         var
     }
 
-    /// Gather without recording (inference-only lookups).
+    /// Gather without recording (inference-only lookups). Bypasses the
+    /// hot-row cache; results are identical either way.
     pub fn lookup_frozen(&self, g: &mut Graph, table: TableId, ids: &[u32]) -> Var {
         g.input(self.tables[table.0].gather(ids))
     }
@@ -194,7 +398,8 @@ impl EmbeddingStore {
         self.tables.iter().map(EmbeddingTable::num_params).sum()
     }
 
-    /// Total bytes (weights + Adagrad state).
+    /// Total heap bytes (weights + Adagrad state; resident rows only for
+    /// pack-backed tables).
     pub fn memory_bytes(&self) -> usize {
         self.tables.iter().map(EmbeddingTable::memory_bytes).sum()
     }
@@ -204,13 +409,125 @@ impl EmbeddingStore {
         self.tables.iter()
     }
 
-    /// Overwrite a table's weights from a flat `rows*dim` buffer (checkpoint
-    /// restore). Optimizer accumulators reset to zero.
-    pub fn overwrite_table(&mut self, id: TableId, flat: &[f32]) {
-        let t = &mut self.tables[id.0];
-        assert_eq!(flat.len(), t.rows * t.dim, "overwrite_table: size mismatch");
-        t.weights.copy_from_slice(flat);
-        t.accum.iter_mut().for_each(|a| *a = 0.0);
+    /// Overwrite a table's weights and Adagrad accumulators from flat
+    /// `rows*dim` buffers (checkpoint restore). Restoring the accumulators —
+    /// not zeroing them — is what makes save → load → continue bitwise equal
+    /// to uninterrupted training.
+    pub fn overwrite_table(&mut self, id: TableId, weights: &[f32], accum: &[f32]) {
+        self.tables[id.0].overwrite(weights, accum);
+    }
+
+    /// Append every table's buffered updates to its delta file (no-op for RAM
+    /// tables). Returns the total records flushed.
+    pub fn flush_deltas(&mut self) -> std::io::Result<usize> {
+        let mut n = 0;
+        for t in &mut self.tables {
+            if let Backing::Pack(p) = &mut t.backing {
+                n += p.flush_deltas()?;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Fold every pack table's overlay + deltas back into its base shards.
+    pub fn compact_packs(&mut self) -> Result<(), PackError> {
+        for t in &mut self.tables {
+            if let Backing::Pack(p) = &mut t.backing {
+                p.compact()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Aggregated hot-row-cache counters across pack tables.
+    pub fn cache_stats(&self) -> packstore::CacheStats {
+        let mut total = packstore::CacheStats::default();
+        for t in &self.tables {
+            if let Backing::Pack(p) = &t.backing {
+                let s = p.cache_stats();
+                total.hits += s.hits;
+                total.misses += s.misses;
+                total.evictions += s.evictions;
+            }
+        }
+        total
+    }
+
+    /// Write every table (whatever its backing) into `dir` as a pack
+    /// directory with a manifest. Pack tables already living in `dir` are
+    /// compacted in place; everything else is snapshotted and packed fresh.
+    pub fn export_pack_dir(&mut self, dir: &Path) -> Result<(), PackError> {
+        std::fs::create_dir_all(dir).map_err(|e| PackError::io(dir, &e))?;
+        let mut entries = Vec::with_capacity(self.tables.len());
+        for t in &mut self.tables {
+            let n_shards = match &mut t.backing {
+                Backing::Pack(p) if p.dir() == dir => {
+                    p.compact()?;
+                    p.n_shards()
+                }
+                _ => {
+                    let (weights, accum) = t.snapshot();
+                    let metas = packstore::write_table(
+                        dir,
+                        &t.name,
+                        t.rows,
+                        t.dim,
+                        &weights,
+                        &accum,
+                        PackOptions::default(),
+                    )?;
+                    metas.len()
+                }
+            };
+            entries.push(ManifestEntry {
+                name: t.name.clone(),
+                rows: t.rows as u64,
+                dim: t.dim as u32,
+                n_shards: n_shards as u32,
+            });
+        }
+        write_manifest(dir, &entries)
+    }
+
+    /// Warm-start every registered table from a pack directory written by
+    /// [`EmbeddingStore::export_pack_dir`]: geometry is validated against the
+    /// manifest, shards are opened zero-copy, deltas replayed — **no record
+    /// is deserialized**. Tables must be registered (names + shapes) first.
+    pub fn attach_pack_dir(&mut self, dir: &Path) -> Result<(), PackError> {
+        let manifest = packstore::read_manifest(dir)?;
+        let by_name: HashMap<&str, &ManifestEntry> =
+            manifest.iter().map(|e| (e.name.as_str(), e)).collect();
+        for t in &self.tables {
+            let e = by_name
+                .get(t.name.as_str())
+                .ok_or_else(|| PackError::MissingTable(t.name.clone()))?;
+            if e.rows != t.rows as u64 || e.dim != t.dim as u32 {
+                return Err(PackError::ShapeMismatch(format!(
+                    "table {:?}: manifest {}x{}, live {}x{}",
+                    t.name, e.rows, e.dim, t.rows, t.dim
+                )));
+            }
+        }
+        for t in &mut self.tables {
+            t.attach_pack(dir, PackOptions::default())?;
+        }
+        self.mode = StoreMode::Pack;
+        self.pack_dir = Some(dir.to_path_buf());
+        self.owns_dir = false;
+        Ok(())
+    }
+}
+
+impl Drop for EmbeddingStore {
+    fn drop(&mut self) {
+        // A store that created its own scratch pack directory cleans it up;
+        // attached/exported directories are the caller's (unlinking while
+        // mapped is safe on unix — the inode outlives the name).
+        if self.owns_dir {
+            if let Some(dir) = &self.pack_dir {
+                let _ = std::fs::remove_dir_all(dir);
+            }
+        }
     }
 }
 
@@ -287,5 +604,78 @@ mod tests {
         let t = EmbeddingTable::new(&mut rng, "t", 4, 2, 0.1);
         let r = std::panic::catch_unwind(|| t.gather(&[4]));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn pack_conversion_serves_identical_rows() {
+        let mut rng = Prng::seeded(7);
+        let mut ram = EmbeddingTable::new(&mut rng, "conv", 50, 6, 0.1);
+        let mut rng2 = Prng::seeded(7);
+        let mut packed = EmbeddingTable::new(&mut rng2, "conv", 50, 6, 0.1);
+        let dir = packstore::fresh_temp_dir();
+        packed.to_pack(&dir, PackOptions::default()).unwrap();
+        assert!(packed.is_pack());
+        for id in 0..50u32 {
+            let a: Vec<u32> = ram.row(id).iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = packed.row(id).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "row {id}");
+        }
+        // Same update on both backings stays bitwise identical.
+        let grad = Tensor::from_vec(2, 6, (0..12).map(|i| 0.1 * i as f32).collect());
+        ram.apply_grad(&[3, 9], &grad, 0.05, 1e-6);
+        packed.apply_grad(&[3, 9], &grad, 0.05, 1e-6);
+        for id in [3u32, 9] {
+            let a: Vec<u32> = ram.row(id).iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = packed.row(id).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "updated row {id}");
+            let aa: Vec<u32> = ram.accum_row(id).iter().map(|v| v.to_bits()).collect();
+            let ba: Vec<u32> = packed.accum_row(id).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(aa, ba, "accum row {id}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overwrite_preserves_accumulators() {
+        let mut rng = Prng::seeded(8);
+        let mut store = EmbeddingStore::new();
+        let tid = store.add_table(&mut rng, "t", 5, 2, 0.1);
+        let weights = vec![0.5f32; 10];
+        let accum = vec![2.0f32; 10];
+        store.overwrite_table(tid, &weights, &accum);
+        assert_eq!(store.table(tid).row(3), &[0.5, 0.5]);
+        assert_eq!(store.table(tid).accum_row(3), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn export_then_attach_round_trips() {
+        let mut rng = Prng::seeded(9);
+        let mut store = EmbeddingStore::new();
+        let a = store.add_table(&mut rng, "a", 20, 3, 0.1);
+        let b = store.add_table(&mut rng, "b", 7, 2, 0.1);
+        let dir = packstore::fresh_temp_dir();
+        store.export_pack_dir(&dir).unwrap();
+
+        // Second store, same names/shapes, different values — attach swaps in
+        // the packed rows without a deserialize pass.
+        let mut rng2 = Prng::seeded(99);
+        let mut store2 = EmbeddingStore::new();
+        let a2 = store2.add_table(&mut rng2, "a", 20, 3, 0.1);
+        let b2 = store2.add_table(&mut rng2, "b", 7, 2, 0.1);
+        store2.attach_pack_dir(&dir).unwrap();
+        for id in 0..20u32 {
+            assert_eq!(store.table(a).row(id), store2.table(a2).row(id));
+        }
+        for id in 0..7u32 {
+            assert_eq!(store.table(b).row(id), store2.table(b2).row(id));
+        }
+
+        // Shape mismatch is rejected.
+        let mut rng3 = Prng::seeded(5);
+        let mut store3 = EmbeddingStore::new();
+        store3.add_table(&mut rng3, "a", 21, 3, 0.1);
+        store3.add_table(&mut rng3, "b", 7, 2, 0.1);
+        assert!(matches!(store3.attach_pack_dir(&dir), Err(PackError::ShapeMismatch(_))));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

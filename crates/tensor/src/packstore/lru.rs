@@ -1,0 +1,282 @@
+//! The hot-row cache: a small, strict LRU of decoded `(weights ++ accum)`
+//! records in front of the pack shards. Online traffic is heavily skewed
+//! (Zipf items, repeat users), so a cache of a few thousand rows absorbs
+//! most gathers; everything it serves is a bit-exact copy of the base record,
+//! so the cache can never change results — only wall-clock.
+
+use std::collections::HashMap;
+
+/// Hit/miss/eviction counts since creation (or the last [`HotRowCache::take_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the base shards.
+    pub misses: u64,
+    /// Entries dropped to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+struct Entry {
+    id: u32,
+    record: Box<[f32]>,
+    prev: u32,
+    next: u32,
+}
+
+/// A fixed-capacity LRU keyed by row id, storing one decoded record per row.
+/// Recency is a doubly-linked list threaded through a slab; both `get` and
+/// `insert` are O(1).
+pub struct HotRowCache {
+    capacity: usize,
+    map: HashMap<u32, u32>,
+    slab: Vec<Entry>,
+    head: u32, // most recent
+    tail: u32, // least recent
+    free: Vec<u32>,
+    stats: CacheStats,
+}
+
+impl HotRowCache {
+    /// A cache holding at most `capacity` rows (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::new(),
+            slab: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Rows currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Return and reset the counters.
+    pub fn take_stats(&mut self) -> CacheStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    fn unlink(&mut self, slot: u32) {
+        let (prev, next) = {
+            let e = &self.slab[slot as usize];
+            (e.prev, e.next)
+        };
+        if prev != NIL {
+            self.slab[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: u32) {
+        let old_head = self.head;
+        {
+            let e = &mut self.slab[slot as usize];
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        if old_head != NIL {
+            self.slab[old_head as usize].prev = slot;
+        } else {
+            self.tail = slot;
+        }
+        self.head = slot;
+    }
+
+    /// Look up a row, refreshing its recency. Counts a hit or a miss.
+    pub fn get(&mut self, id: u32) -> Option<&[f32]> {
+        match self.map.get(&id).copied() {
+            Some(slot) => {
+                self.stats.hits += 1;
+                if self.head != slot {
+                    self.unlink(slot);
+                    self.push_front(slot);
+                }
+                Some(&self.slab[slot as usize].record)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether a row is cached, without touching recency or counters.
+    pub fn contains(&self, id: u32) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    /// Insert (or replace) a row, evicting the least-recent entry when full.
+    /// Returns a borrow of the stored record.
+    pub fn insert(&mut self, id: u32, record: Box<[f32]>) -> &[f32] {
+        if self.capacity == 0 {
+            // Degenerate cache: keep exactly the entry being inserted so the
+            // caller can still borrow it; it is evicted by the next insert.
+            self.map.clear();
+            self.slab.clear();
+            self.free.clear();
+            self.head = NIL;
+            self.tail = NIL;
+            self.slab.push(Entry { id, record, prev: NIL, next: NIL });
+            self.map.insert(id, 0);
+            self.head = 0;
+            self.tail = 0;
+            return &self.slab[0].record;
+        }
+        if let Some(slot) = self.map.get(&id).copied() {
+            self.slab[slot as usize].record = record;
+            if self.head != slot {
+                self.unlink(slot);
+                self.push_front(slot);
+            }
+            return &self.slab[slot as usize].record;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            let old_id = self.slab[victim as usize].id;
+            self.map.remove(&old_id);
+            self.free.push(victim);
+            self.stats.evictions += 1;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s as usize] = Entry { id, record, prev: NIL, next: NIL };
+                s
+            }
+            None => {
+                self.slab.push(Entry { id, record, prev: NIL, next: NIL });
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.map.insert(id, slot);
+        self.push_front(slot);
+        &self.slab[slot as usize].record
+    }
+
+    /// Drop a row (e.g. after it was rewritten and now lives in the overlay).
+    pub fn remove(&mut self, id: u32) {
+        if let Some(slot) = self.map.remove(&id) {
+            self.unlink(slot);
+            self.slab[slot as usize].record = Box::new([]);
+            self.free.push(slot);
+        }
+    }
+
+    /// Drop everything (compaction rewrote the base).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(v: f32) -> Box<[f32]> {
+        vec![v, v + 0.5].into_boxed_slice()
+    }
+
+    #[test]
+    fn hit_miss_and_eviction_order() {
+        let mut c = HotRowCache::new(2);
+        assert!(c.get(1).is_none()); // miss
+        c.insert(1, rec(1.0));
+        c.insert(2, rec(2.0));
+        assert_eq!(c.get(1).unwrap()[0], 1.0); // hit; 1 now most recent
+        c.insert(3, rec(3.0)); // evicts 2 (least recent)
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (3, 2, 1));
+        // Counters reconcile: every lookup is exactly one hit or one miss.
+        assert_eq!(s.hits + s.misses, 5);
+    }
+
+    #[test]
+    fn replace_updates_value_and_recency() {
+        let mut c = HotRowCache::new(2);
+        c.insert(1, rec(1.0));
+        c.insert(2, rec(2.0));
+        c.insert(1, rec(9.0)); // replace; 1 most recent
+        c.insert(3, rec(3.0)); // evicts 2
+        assert_eq!(c.get(1).unwrap()[0], 9.0);
+        assert!(c.get(2).is_none());
+    }
+
+    #[test]
+    fn remove_frees_slot_for_reuse() {
+        let mut c = HotRowCache::new(2);
+        c.insert(1, rec(1.0));
+        c.insert(2, rec(2.0));
+        c.remove(1);
+        assert_eq!(c.len(), 1);
+        c.insert(3, rec(3.0));
+        c.insert(4, rec(4.0)); // evicts 2
+        assert_eq!(c.len(), 2);
+        assert!(c.get(3).is_some() && c.get(4).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_still_serves_the_inserted_borrow() {
+        let mut c = HotRowCache::new(0);
+        let r = c.insert(5, rec(5.0));
+        assert_eq!(r[0], 5.0);
+        c.insert(6, rec(6.0));
+        assert!(!c.contains(5));
+    }
+
+    #[test]
+    fn heavy_churn_keeps_list_consistent() {
+        let mut c = HotRowCache::new(8);
+        for i in 0..1000u32 {
+            c.insert(i % 23, rec(i as f32));
+            let _ = c.get((i * 7) % 23);
+            if i % 5 == 0 {
+                c.remove((i * 3) % 23);
+            }
+            assert!(c.len() <= 8);
+        }
+    }
+}

@@ -13,7 +13,10 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::HashMap;
 
 const MAGIC: &[u8; 8] = b"BASMCKPT";
-const VERSION: u32 = 1;
+// v2 stores each embedding table's Adagrad accumulators alongside its
+// weights, so a restored trainer continues exactly where it stopped instead
+// of silently restarting its per-row learning-rate schedule.
+const VERSION: u32 = 2;
 
 /// Errors produced when reading a checkpoint.
 #[derive(Debug, PartialEq, Eq)]
@@ -36,6 +39,9 @@ pub enum CheckpointError {
         /// CRC32 of the payload as read.
         actual: u32,
     },
+    /// Bytes past the last valid section: a concatenated, padded, or
+    /// partially overwritten file must never load as if it were clean.
+    TrailingBytes,
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -48,6 +54,9 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::ShapeMismatch(n) => write!(f, "shape mismatch for {n:?}"),
             CheckpointError::ChecksumMismatch { stored, actual } => {
                 write!(f, "checkpoint corrupt: stored CRC32 {stored:#010x}, payload {actual:#010x}")
+            }
+            CheckpointError::TrailingBytes => {
+                write!(f, "checkpoint has trailing bytes after valid content")
             }
         }
     }
@@ -90,8 +99,9 @@ fn get_f32s(buf: &mut Bytes) -> Result<Vec<f32>, CheckpointError> {
     Ok((0..len).map(|_| buf.get_f32_le()).collect())
 }
 
-/// Serialize the dense parameters and every embedding table (weights only —
-/// optimizer state is a training concern, not a serving one).
+/// Serialize the dense parameters and every embedding table (weights *and*
+/// Adagrad accumulators — restoring without the accumulators would silently
+/// reset every row's adaptive learning rate).
 pub fn save_checkpoint(params: &ParamStore, embeddings: &EmbeddingStore) -> Bytes {
     let mut buf = begin_checkpoint(params);
     append_embeddings(&mut buf, embeddings);
@@ -117,7 +127,8 @@ pub fn begin_checkpoint(params: &ParamStore) -> BytesMut {
     buf
 }
 
-/// Stage 2 of saving: append every embedding table.
+/// Stage 2 of saving: append every embedding table (weights, then Adagrad
+/// accumulators).
 pub fn append_embeddings(buf: &mut BytesMut, embeddings: &EmbeddingStore) {
     let tables: Vec<_> = embeddings.tables().collect();
     buf.put_u32_le(tables.len() as u32);
@@ -125,22 +136,26 @@ pub fn append_embeddings(buf: &mut BytesMut, embeddings: &EmbeddingStore) {
         put_str(buf, t.name());
         buf.put_u32_le(t.rows() as u32);
         buf.put_u32_le(t.dim() as u32);
-        let mut flat = Vec::with_capacity(t.rows() * t.dim());
-        for r in 0..t.rows() {
-            flat.extend_from_slice(t.row(r as u32));
-        }
-        put_f32s(buf, &flat);
+        let (weights, accum) = t.snapshot();
+        put_f32s(buf, &weights);
+        put_f32s(buf, &accum);
     }
 }
 
 /// Restore a checkpoint into live stores (matching by name; every live entry
-/// must be present in the checkpoint with identical shape).
+/// must be present in the checkpoint with identical shape). The buffer must
+/// contain exactly one checkpoint — trailing bytes are rejected (callers that
+/// append their own sections use [`ParsedCheckpoint`] and check
+/// [`ParsedCheckpoint::consumed`] themselves).
 pub fn load_checkpoint(
     bytes: &[u8],
     params: &mut ParamStore,
     embeddings: &mut EmbeddingStore,
 ) -> Result<(), CheckpointError> {
     let parsed = ParsedCheckpoint::parse(bytes)?;
+    if parsed.consumed() != bytes.len() {
+        return Err(CheckpointError::TrailingBytes);
+    }
     parsed.apply_params(params)?;
     parsed.apply_embeddings(embeddings)
 }
@@ -148,7 +163,7 @@ pub fn load_checkpoint(
 /// A parsed checkpoint, applicable to stores one at a time.
 pub struct ParsedCheckpoint {
     dense: HashMap<String, ((usize, usize), Vec<f32>)>,
-    sparse: HashMap<String, (usize, usize, Vec<f32>)>,
+    sparse: HashMap<String, (usize, usize, Vec<f32>, Vec<f32>)>,
     consumed: usize,
 }
 
@@ -187,7 +202,7 @@ impl ParsedCheckpoint {
     ) -> Result<(), CheckpointError> {
         let names: Vec<String> = embeddings.tables().map(|t| t.name().to_string()).collect();
         for name in names {
-            let (rows, dim, data) = self
+            let (rows, dim, weights, accum) = self
                 .sparse
                 .get(&name)
                 .ok_or_else(|| CheckpointError::Missing(name.clone()))?;
@@ -198,7 +213,7 @@ impl ParsedCheckpoint {
                     return Err(CheckpointError::ShapeMismatch(name));
                 }
             }
-            embeddings.overwrite_table(id, data);
+            embeddings.overwrite_table(id, weights, accum);
         }
         Ok(())
     }
@@ -242,7 +257,7 @@ fn parse_impl(bytes: &[u8]) -> Result<ParsedCheckpoint, CheckpointError> {
         return Err(CheckpointError::Truncated);
     }
     let n_tables = buf.get_u32_le() as usize;
-    let mut sparse: HashMap<String, (usize, usize, Vec<f32>)> = HashMap::new();
+    let mut sparse: HashMap<String, (usize, usize, Vec<f32>, Vec<f32>)> = HashMap::new();
     for _ in 0..n_tables {
         let name = get_str(&mut buf)?;
         if buf.remaining() < 8 {
@@ -250,11 +265,12 @@ fn parse_impl(bytes: &[u8]) -> Result<ParsedCheckpoint, CheckpointError> {
         }
         let rows = buf.get_u32_le() as usize;
         let dim = buf.get_u32_le() as usize;
-        let data = get_f32s(&mut buf)?;
-        if data.len() != rows * dim {
+        let weights = get_f32s(&mut buf)?;
+        let accum = get_f32s(&mut buf)?;
+        if weights.len() != rows * dim || accum.len() != rows * dim {
             return Err(CheckpointError::Truncated);
         }
-        sparse.insert(name, (rows, dim, data));
+        sparse.insert(name, (rows, dim, weights, accum));
     }
     let consumed = bytes.len() - buf.remaining();
     Ok(ParsedCheckpoint { dense, sparse, consumed })
@@ -293,6 +309,35 @@ mod tests {
         assert_eq!(p.value(id).data(), p2.value(id2).data());
         let t1 = e.id_of("item").unwrap();
         assert_eq!(e.table(t1).row(3), e2.table(t2).row(3));
+    }
+
+    #[test]
+    fn accumulators_round_trip() {
+        let (p, mut e, mut rng) = setup();
+        let tid = e.id_of("item").unwrap();
+        let weights = vec![0.25f32; 40];
+        let accum: Vec<f32> = (0..40).map(|i| i as f32 * 0.5).collect();
+        e.overwrite_table(tid, &weights, &accum);
+        let bytes = save_checkpoint(&p, &e);
+
+        let mut p2 = ParamStore::new();
+        p2.add("a.w", rng.randn(3, 4, 9.0));
+        p2.add("a.b", rng.randn(1, 4, 9.0));
+        let mut e2 = EmbeddingStore::new();
+        let t2 = e2.add_table(&mut rng, "item", 10, 4, 0.9);
+        load_checkpoint(&bytes, &mut p2, &mut e2).unwrap();
+        assert_eq!(e2.table(t2).row(5), &weights[20..24]);
+        assert_eq!(e2.table(t2).accum_row(5), &accum[20..24]);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let (p, e, _) = setup();
+        let mut bytes = save_checkpoint(&p, &e).to_vec();
+        bytes.extend_from_slice(b"junk");
+        let (mut p2, mut e2, _) = setup();
+        let err = load_checkpoint(&bytes, &mut p2, &mut e2).unwrap_err();
+        assert_eq!(err, CheckpointError::TrailingBytes);
     }
 
     #[test]

@@ -1,0 +1,353 @@
+//! Integration tests for the pack-file embedding store: property-based
+//! round-trips (random tables → pack → mmap read == RAM bits), corruption and
+//! truncation rejection, delta-append → reopen → compaction equivalence,
+//! hot-row-cache accounting, and RAM-vs-pack training equivalence through the
+//! full [`EmbeddingStore`] lookup/backward/apply cycle.
+
+use basm_tensor::nn::embedding::EmbeddingStore;
+use basm_tensor::packstore::{
+    self, set_emb_store, write_table, PackError, PackOptions, PackTable, StoreMode,
+};
+use basm_tensor::{Graph, Prng};
+use proptest::prelude::*;
+use std::sync::{Mutex, OnceLock};
+
+/// The backend override is process-global; serialize the tests that touch it
+/// (or that assert on a store's mode).
+fn mode_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+/// Deterministic pseudo-random f32s (plain LCG; includes negatives and
+/// denormal-ish magnitudes, which must round-trip bit-exactly).
+fn lcg_f32s(seed: u64, n: usize) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as i32 as f32) * 1.19e-7
+        })
+        .collect()
+}
+
+fn scratch_dir() -> std::path::PathBuf {
+    let dir = packstore::fresh_temp_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any table geometry and any shard split: every record read back through
+    /// the pack (mmap'd when the platform allows) equals the source bits.
+    #[test]
+    fn pack_roundtrip_is_bit_exact(
+        rows in 1usize..50,
+        dim in 1usize..8,
+        shard_rows in 1usize..16,
+        seed in 0u64..1_000_000,
+    ) {
+        let dir = scratch_dir();
+        let w = lcg_f32s(seed, rows * dim);
+        let a = lcg_f32s(seed ^ 0xA5A5, rows * dim);
+        let opts = PackOptions { shard_rows, cache_rows: 4 };
+        write_table(&dir, "t", rows, dim, &w, &a, opts).unwrap();
+        let table = PackTable::open(&dir, "t", rows, dim, opts).unwrap();
+        prop_assert!(table.verify().is_ok());
+        for r in 0..rows as u32 {
+            let rec = table.record(r);
+            let base = r as usize * dim;
+            for j in 0..dim {
+                prop_assert_eq!(rec[j].to_bits(), w[base + j].to_bits());
+                prop_assert_eq!(rec[dim + j].to_bits(), a[base + j].to_bits());
+            }
+        }
+        let (sw, sa) = table.snapshot();
+        prop_assert_eq!(
+            sw.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            w.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            sa.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        drop(table);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn corrupted_and_truncated_packs_are_rejected() {
+    let dir = scratch_dir();
+    let rows = 40;
+    let dim = 4;
+    let w = lcg_f32s(1, rows * dim);
+    let a = lcg_f32s(2, rows * dim);
+    let opts = PackOptions { shard_rows: 16, cache_rows: 4 };
+    write_table(&dir, "t", rows, dim, &w, &a, opts).unwrap();
+
+    // A payload bit flip passes the (lazy) open but fails verify().
+    let shard0 = dir.join("t.0.pack");
+    let pristine = std::fs::read(&shard0).unwrap();
+    let mut flipped = pristine.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x20;
+    std::fs::write(&shard0, &flipped).unwrap();
+    let table = PackTable::open(&dir, "t", rows, dim, opts).unwrap();
+    assert!(
+        matches!(table.verify(), Err(PackError::ChecksumMismatch { .. })),
+        "bit flip must fail verification"
+    );
+    drop(table);
+
+    // Truncation is caught at open (exact length check, no payload read).
+    std::fs::write(&shard0, &pristine[..pristine.len() - 3]).unwrap();
+    assert!(matches!(
+        PackTable::open(&dir, "t", rows, dim, opts),
+        Err(PackError::Truncated(_))
+    ));
+
+    // Trailing garbage likewise.
+    let mut padded = pristine.clone();
+    padded.extend_from_slice(b"xx");
+    std::fs::write(&shard0, &padded).unwrap();
+    assert!(matches!(
+        PackTable::open(&dir, "t", rows, dim, opts),
+        Err(PackError::TrailingBytes(_))
+    ));
+    std::fs::write(&shard0, &pristine).unwrap();
+
+    // A flipped index byte fails its CRC before any shard is looked at.
+    let idx = dir.join("t.idx");
+    let ipristine = std::fs::read(&idx).unwrap();
+    let mut iflipped = ipristine.clone();
+    iflipped[30] ^= 0x04;
+    std::fs::write(&idx, &iflipped).unwrap();
+    assert!(matches!(
+        PackTable::open(&dir, "t", rows, dim, opts),
+        Err(PackError::ChecksumMismatch { .. })
+    ));
+    std::fs::write(&idx, &ipristine).unwrap();
+
+    // And the repaired directory opens + verifies clean again.
+    let table = PackTable::open(&dir, "t", rows, dim, opts).unwrap();
+    assert!(table.verify().is_ok());
+    drop(table);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn delta_flush_reopen_and_compaction_are_equivalent() {
+    let dir = scratch_dir();
+    let rows = 30;
+    let dim = 3;
+    let w = lcg_f32s(7, rows * dim);
+    let a = lcg_f32s(8, rows * dim);
+    let opts = PackOptions { shard_rows: 8, cache_rows: 4 };
+    write_table(&dir, "t", rows, dim, &w, &a, opts).unwrap();
+
+    // Write two generations of updates to overlapping rows; flush each.
+    let mut table = PackTable::open(&dir, "t", rows, dim, opts).unwrap();
+    let gen1 = lcg_f32s(100, 2 * dim);
+    let gen2 = lcg_f32s(200, 2 * dim);
+    table.write_record(5, &gen1);
+    table.write_record(17, &gen1);
+    assert_eq!(table.flush_deltas().unwrap(), 2);
+    table.write_record(5, &gen2); // overrides gen1 for row 5
+    table.write_record(29, &gen2);
+    assert_eq!(table.flush_deltas().unwrap(), 2);
+    let expect = table.snapshot();
+    drop(table);
+
+    // Reopen: replay must apply chunks in order (later generations win).
+    let mut reopened = PackTable::open(&dir, "t", rows, dim, opts).unwrap();
+    assert!(reopened.has_delta_file());
+    assert_eq!(reopened.overlay_len(), 3, "rows 5, 17, 29 patched");
+    let replayed = reopened.snapshot();
+    assert_eq!(
+        replayed.0.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        expect.0.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+
+    // Compaction folds the overlay into the base, removes the delta file,
+    // and changes no row.
+    reopened.compact().unwrap();
+    assert!(!reopened.has_delta_file());
+    assert_eq!(reopened.overlay_len(), 0);
+    assert!(reopened.verify().is_ok());
+    let compacted = reopened.snapshot();
+    assert_eq!(
+        compacted.0.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        expect.0.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+    drop(reopened);
+
+    // A fresh open of the compacted pack still serves the same bits.
+    let fresh = PackTable::open(&dir, "t", rows, dim, opts).unwrap();
+    assert_eq!(fresh.overlay_len(), 0);
+    let cold = fresh.snapshot();
+    assert_eq!(
+        cold.1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        expect.1.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+    drop(fresh);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_delta_tail_is_rejected() {
+    let dir = scratch_dir();
+    let rows = 10;
+    let dim = 2;
+    let opts = PackOptions { shard_rows: 0, cache_rows: 2 };
+    write_table(&dir, "t", rows, dim, &lcg_f32s(3, rows * dim), &lcg_f32s(4, rows * dim), opts)
+        .unwrap();
+    let mut table = PackTable::open(&dir, "t", rows, dim, opts).unwrap();
+    table.write_record(3, &lcg_f32s(5, 2 * dim));
+    table.flush_deltas().unwrap();
+    drop(table);
+
+    // A writer that died mid-append leaves a torn chunk: strict rejection,
+    // never a silent half-replay.
+    let delta = dir.join("t.delta");
+    let mut bytes = std::fs::read(&delta).unwrap();
+    bytes.extend_from_slice(&bytes.clone()[..7]);
+    std::fs::write(&delta, &bytes).unwrap();
+    assert!(matches!(
+        PackTable::open(&dir, "t", rows, dim, opts),
+        Err(PackError::TrailingBytes(_))
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hot_row_cache_counters_reconcile() {
+    let dir = scratch_dir();
+    let rows = 64;
+    let dim = 4;
+    let opts = PackOptions { shard_rows: 16, cache_rows: 8 };
+    write_table(&dir, "t", rows, dim, &lcg_f32s(9, rows * dim), &lcg_f32s(10, rows * dim), opts)
+        .unwrap();
+    let mut table = PackTable::open(&dir, "t", rows, dim, opts).unwrap();
+
+    // A Zipf-ish access pattern: a small hot set plus a cold scan.
+    let mut lookups = 0u64;
+    for round in 0..20u32 {
+        for hot in 1..=4u32 {
+            let _ = table.record_cached(hot);
+            lookups += 1;
+        }
+        let cold = 10 + (round % 50);
+        let _ = table.record_cached(cold);
+        lookups += 1;
+    }
+    let stats = table.cache_stats();
+    // Every cached lookup is exactly one hit or one miss...
+    assert_eq!(stats.hits + stats.misses, lookups, "{stats:?}");
+    // ...the hot set almost always hits...
+    assert!(stats.hit_rate() > 0.5, "hot-set pattern should mostly hit: {stats:?}");
+    // ...and an 8-slot cache under a >8-row working set must have evicted.
+    assert!(stats.evictions > 0);
+
+    // With telemetry compiled in *and* runtime-enabled (BASM_OBS), the
+    // basm-obs counters mirror the same accounting (across all tables in
+    // the process, so >=). CacheStats above is always-on regardless.
+    #[cfg(feature = "obs")]
+    if basm_obs::enabled() {
+        let report = basm_obs::report();
+        let counter = |name: &str| {
+            report.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+        };
+        assert!(counter("packstore.cache_hit") >= stats.hits);
+        assert!(counter("packstore.cache_miss") >= stats.misses);
+    }
+    drop(table);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Run a few lookup → backward → apply cycles through a full
+/// [`EmbeddingStore`] and return every table row's weight and accumulator
+/// bits.
+fn train_store_and_dump(mode: StoreMode) -> Vec<u32> {
+    set_emb_store(Some(mode));
+    let mut rng = Prng::seeded(42);
+    let mut store = EmbeddingStore::new();
+    assert_eq!(store.mode(), mode);
+    let user = store.add_table(&mut rng, "user", 60, 5, 0.05);
+    let item = store.add_table(&mut rng, "item", 40, 3, 0.05);
+    set_emb_store(None);
+
+    for step in 0..12u32 {
+        let mut g = Graph::new();
+        let ids_u: Vec<u32> = (0..6).map(|i| 1 + (step * 7 + i * 3) % 59).collect();
+        let ids_i: Vec<u32> = (0..6).map(|i| 1 + (step * 5 + i) % 39).collect();
+        let eu = store.lookup(&mut g, user, &ids_u);
+        let ei = store.lookup(&mut g, item, &ids_i);
+        let su = g.square(eu);
+        let si = g.square(ei);
+        let lu = g.mean_all(su);
+        let li = g.mean_all(si);
+        let loss = g.add(lu, li);
+        g.backward(loss);
+        store.apply_grads(&g, 0.1);
+    }
+
+    let mut bits = Vec::new();
+    for (tid, rows) in [(user, 60u32), (item, 40)] {
+        for r in 0..rows {
+            bits.extend(store.table(tid).row(r).iter().map(|v| v.to_bits()));
+            bits.extend(store.table(tid).accum_row(r).iter().map(|v| v.to_bits()));
+        }
+    }
+    bits
+}
+
+/// The headline contract: the same training run through RAM and pack
+/// backends ends in bit-identical weights *and* Adagrad state.
+#[test]
+fn training_is_bitwise_identical_across_backends() {
+    let _guard = mode_lock();
+    let ram = train_store_and_dump(StoreMode::Ram);
+    let pack = train_store_and_dump(StoreMode::Pack);
+    assert_eq!(ram, pack, "pack backend diverged from RAM");
+}
+
+/// Store-level durability cycle: train in pack mode, flush, export, attach
+/// from a second store, and confirm the attached rows match.
+#[test]
+fn export_attach_after_training_round_trips() {
+    let _guard = mode_lock();
+    set_emb_store(Some(StoreMode::Pack));
+    let mut rng = Prng::seeded(11);
+    let mut store = EmbeddingStore::new();
+    let tid = store.add_table(&mut rng, "t", 25, 4, 0.05);
+    set_emb_store(None);
+
+    let mut g = Graph::new();
+    let e = store.lookup(&mut g, tid, &[2, 3, 5, 7]);
+    let s = g.square(e);
+    let loss = g.mean_all(s);
+    g.backward(loss);
+    store.apply_grads(&g, 0.5);
+    assert!(store.flush_deltas().unwrap() > 0);
+
+    let out = packstore::fresh_temp_dir();
+    store.export_pack_dir(&out).unwrap();
+
+    let mut rng2 = Prng::seeded(77);
+    let mut other = EmbeddingStore::new();
+    let tid2 = other.add_table(&mut rng2, "t", 25, 4, 0.05);
+    other.attach_pack_dir(&out).unwrap();
+    for r in 0..25u32 {
+        assert_eq!(
+            store.table(tid).row(r).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            other.table(tid2).row(r).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "row {r}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&out);
+}

@@ -92,6 +92,17 @@ pub fn train_online(
             step += 1;
             batches += 1;
         }
+        // End-of-day durability point: when the embedding store is
+        // pack-backed, append the day's row updates to the delta files so a
+        // crash between days replays cleanly on reopen. RAM stores no-op.
+        let flushed = model
+            .embedder()
+            .emb
+            .flush_deltas()
+            .expect("flushing embedding deltas");
+        if flushed > 0 {
+            basm_obs::counter_add("trainer.delta_rows_flushed", flushed as u64);
+        }
         days.push(OnlineDay {
             day,
             report,

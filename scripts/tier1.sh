@@ -43,6 +43,22 @@ for pool in 0 1; do
         cargo test -q -p basm-serving --features faults --tests
 done
 
+# The pack-file embedding store (DESIGN.md §11) must be a pure residency
+# decision: the tensor and serving suites — including the pack-vs-RAM
+# bitwise-equivalence pins — have to stay green with tables backed by RAM
+# and by mmap'd pack directories, and again with mmap disabled (the heap
+# read fallback must serve the same bits the mapping does).
+for store in ram pack; do
+    echo "== tier1: basm-tensor tests (BASM_EMB_STORE=$store, BASM_THREADS=4) =="
+    BASM_EMB_STORE=$store BASM_THREADS=4 cargo test -q -p basm-tensor --tests
+    echo "== tier1: basm-serving tests (BASM_EMB_STORE=$store, BASM_THREADS=4) =="
+    BASM_EMB_STORE=$store BASM_THREADS=4 cargo test -q -p basm-serving --tests
+    echo "== tier1: basm-core tests (BASM_EMB_STORE=$store) =="
+    BASM_EMB_STORE=$store cargo test -q -p basm-core --tests
+done
+echo "== tier1: basm-tensor tests (BASM_EMB_STORE=pack, BASM_PACK_MMAP=0) =="
+BASM_EMB_STORE=pack BASM_PACK_MMAP=0 cargo test -q -p basm-tensor --tests
+
 for obs in 0 1; do
     echo "== tier1: cargo test --features obs (BASM_OBS=$obs) =="
     BASM_OBS=$obs cargo test -q --workspace --features obs
