@@ -1,0 +1,394 @@
+//! **BENCH_memo**: the version-keyed memoization tier (DESIGN.md §12) under
+//! session-replay traffic on the eleme-scale world.
+//!
+//! The workload mirrors the access pattern the tier is built for: each user
+//! issues a *session* of several requests from the same (geohash cell, hour)
+//! tuple, clicks land between sessions (bumping history versions and
+//! invalidating exactly the clicked users' blocks), and the next session
+//! starts. The binary reports three things:
+//!
+//! * **Hit-rate accounting** — the tier's `MemoStats` over the whole
+//!   serve-path run: steady-state hit rate, click-driven invalidations, and
+//!   the `entries == miss - invalidate - evict` reconciliation.
+//! * **Stage wall clock** — the memoized stage in isolation: ring recall +
+//!   user-block assembly per request, memoized versus rebuilt-from-scratch,
+//!   over the same key sequence. This is the per-request speedup of the
+//!   work the tier actually covers.
+//! * **End-to-end wall clock** — full `serve()` with `BASM_MEMO=1` versus
+//!   `BASM_MEMO=0`. Model inference dominates this path (see the
+//!   `serving.predict_ns` share in `BENCH_load.json`), so the end-to-end
+//!   ratio is expected near 1.0 — it is reported to show the tier is free,
+//!   not to advertise it.
+//!
+//! All timing is interleaved rep by rep on fresh state (the
+//! `bench_hotpath` discipline: alternating arms within the same time window
+//! cancels host speed drift; speedups are medians of per-pair ratios), and
+//! rep 0 asserts the tier's contract end to end: memo-on and memo-off must
+//! agree on every exposure, bitwise.
+
+use basm_bench::BenchEnv;
+use basm_data::{BehaviorEvent, Context, TimePeriod, UserBlock, World};
+use basm_serving::{
+    Exposure, FeatureServer, LbsRecall, MemoCache, MemoConfig, MemoStats, Request,
+    ServingPipeline,
+};
+use basm_tensor::Prng;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Workload {
+    users: usize,
+    sessions_per_user: usize,
+    requests_per_session: usize,
+    seeded_history_events: usize,
+    candidate_pool: usize,
+    top_k: usize,
+}
+
+#[derive(Serialize)]
+struct HitRate {
+    hit: u64,
+    miss: u64,
+    invalidate: u64,
+    evict: u64,
+    /// `hit / (hit + miss)` over the whole run (sessions repeat the same
+    /// tuple, so this is the steady-state rate the tier sustains).
+    hit_rate: f64,
+    /// Live entries at run end; must equal `miss - invalidate - evict`.
+    entries: usize,
+}
+
+#[derive(Serialize, Debug)]
+struct StageClock {
+    reps: usize,
+    laps_per_rep: usize,
+    requests_per_lap: usize,
+    memoized_us_per_request: f64,
+    cold_us_per_request: f64,
+    /// Median of per-pair `cold/memoized` ratios.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct EndToEndClock {
+    reps: usize,
+    memo_on_median_secs: f64,
+    memo_off_median_secs: f64,
+    /// Median of per-pair `off/on` ratios. Predict-dominated, so ~1.0.
+    speedup: f64,
+    per_request_memo_on_us: f64,
+    per_request_memo_off_us: f64,
+}
+
+#[derive(Serialize)]
+struct MemoBench {
+    host_threads: usize,
+    dataset: String,
+    requests_total: usize,
+    workload: Workload,
+    hits: HitRate,
+    stage: StageClock,
+    end_to_end: EndToEndClock,
+    note: String,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// A click on `item` consistent with the world's item profile.
+fn click_event(world: &World, item: u32, hour: u8) -> BehaviorEvent {
+    let item = item % world.items.len() as u32;
+    let it = &world.items[item as usize];
+    BehaviorEvent {
+        item,
+        cat: it.category,
+        brand: it.brand,
+        tp: TimePeriod::from_hour(hour).index() as u8,
+        hour,
+        city: it.city,
+        gx: it.geo.0,
+        gy: it.geo.1,
+    }
+}
+
+/// Give the first `users` users a full-length behavior history so block
+/// assembly costs what it costs in steady state (an empty history would
+/// make the memoized work trivially cheap and the comparison meaningless).
+fn seed_histories(features: &FeatureServer, world: &World, users: usize) {
+    let n = world.config.seq_len;
+    for uid in 0..users {
+        features.seed_history(
+            uid,
+            (0..n).map(|j| click_event(world, (uid * 131 + j * 7) as u32, (8 + j % 14) as u8)),
+        );
+    }
+}
+
+/// Run the session-replay workload once through the full serve path.
+/// Returns total requests served and, when `collect` is set, every served
+/// exposure list for the bitwise check.
+fn run_workload(
+    pipe: &mut ServingPipeline,
+    world: &World,
+    wl: &Workload,
+    collect: bool,
+) -> (usize, Vec<Vec<(u32, u16, u32)>>) {
+    let mut rng = Prng::seeded(4242);
+    let mut served = 0usize;
+    let mut log = Vec::new();
+    for round in 0..wl.sessions_per_user {
+        for uid in 0..wl.users {
+            // Fixed hour: session tuples repeat across rounds, so the
+            // inter-round clicks below invalidate (not merely miss) blocks.
+            let req = Request { uid, day: round as u16, hour: 12, geo: world.users[uid].geo };
+            for _ in 0..wl.requests_per_session {
+                let exposures: Vec<Exposure> =
+                    pipe.serve(world, req, &mut rng).expect("in-range request");
+                served += 1;
+                if collect {
+                    log.push(
+                        exposures
+                            .iter()
+                            .map(|e| (e.item, e.position, e.score.to_bits()))
+                            .collect(),
+                    );
+                }
+                std::hint::black_box(exposures.len());
+            }
+        }
+        // Inter-session online updates: every user clicks once, bumping
+        // their history version (and the global click version).
+        for uid in 0..wl.users {
+            let ev = click_event(world, (round * 31 + uid) as u32, 13);
+            pipe.features.record_click(uid, ev, uid % 3 == 0);
+        }
+    }
+    (served, log)
+}
+
+/// Time the memoized stage in isolation: ring recall + user-block assembly
+/// for every request of the session-replay key sequence, `laps` times over.
+/// The `memoized` arm goes through a `MemoCache`; the cold arm rebuilds
+/// from scratch — exactly what every request pays without the tier.
+fn run_stage(world: &World, wl: &Workload, laps: usize, memoized: bool) -> f64 {
+    let recall = LbsRecall::build(world);
+    let features =
+        FeatureServer::new(world.users.len(), world.items.len(), 4 * world.config.seq_len);
+    seed_histories(&features, world, wl.users);
+    let mut memo = MemoCache::new(MemoConfig { enabled: true, capacity: 4096 });
+
+    let t0 = Instant::now();
+    for lap in 0..laps {
+        for round in 0..wl.sessions_per_user {
+            for uid in 0..wl.users {
+                let city = world.users[uid].city;
+                let ctx = Context {
+                    day: round as u16,
+                    hour: 12,
+                    tp: TimePeriod::from_hour(12),
+                    city,
+                    geo: world.users[uid].geo,
+                    position: 0,
+                };
+                for _ in 0..wl.requests_per_session {
+                    if memoized {
+                        let ring = memo.ring((city, ctx.geo, wl.candidate_pool as u32), || {
+                            recall.ring_candidates(city, ctx.geo, wl.candidate_pool)
+                        });
+                        std::hint::black_box(ring.len());
+                        let current = features.history_version(uid);
+                        let block =
+                            memo.user_block((uid as u32, ctx.geo, ctx.hour), current, || {
+                                features.with_versioned_state(uid, |v, h, c| {
+                                    (v, UserBlock::build(world, uid, ctx, h, c))
+                                })
+                            });
+                        std::hint::black_box(block.heap_bytes());
+                    } else {
+                        let ring = recall.ring_candidates(city, ctx.geo, wl.candidate_pool);
+                        std::hint::black_box(ring.len());
+                        let history = features.history_snapshot(uid);
+                        let block = features
+                            .with_counters(|c| UserBlock::build(world, uid, ctx, &history, c));
+                        std::hint::black_box(block.heap_bytes());
+                    }
+                }
+            }
+            for uid in 0..wl.users {
+                let ev = click_event(world, (lap * 977 + round * 31 + uid) as u32, 13);
+                features.record_click(uid, ev, false);
+            }
+        }
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let data = env.eleme();
+    let world = &data.world;
+
+    let wl = Workload {
+        users: if env.fast { 24 } else { 48 }.min(world.users.len()),
+        sessions_per_user: if env.fast { 2 } else { 3 },
+        requests_per_session: 8,
+        seeded_history_events: world.config.seq_len,
+        candidate_pool: if env.fast { 16 } else { 30 },
+        top_k: if env.fast { 6 } else { 10 },
+    };
+    let reps = if env.fast { 2 } else { 5 };
+    let stage_laps = if env.fast { 5 } else { 20 };
+    let requests_per_lap = wl.users * wl.sessions_per_user * wl.requests_per_session;
+
+    let make_pipe = |memo: bool| {
+        #[allow(unused_mut)]
+        let mut pipe = ServingPipeline::new(
+            world,
+            basm_baselines::build_model("BASM", &world.config, 1),
+            wl.candidate_pool,
+            wl.top_k,
+        );
+        #[cfg(feature = "faults")]
+        pipe.set_faults(None); // memo timing stays fault-free
+        pipe.set_memo(MemoConfig { enabled: memo, capacity: 4096 });
+        seed_histories(&pipe.features, world, wl.users);
+        pipe
+    };
+
+    // --- Contract + accounting: the bitwise check and the hit-rate story.
+    eprintln!("[bench_memo] contract check: memo-on vs memo-off, {requests_per_lap} requests each");
+    let mut on_pipe = make_pipe(true);
+    let (served_on, on_log) = run_workload(&mut on_pipe, world, &wl, true);
+    let stats: MemoStats = on_pipe.memo_stats();
+    let entries = on_pipe.memo_entries();
+    let mut off_pipe = make_pipe(false);
+    let (served_off, off_log) = run_workload(&mut off_pipe, world, &wl, true);
+    assert_eq!(served_on, served_off);
+    assert_eq!(on_log, off_log, "memo-on and memo-off served different bytes");
+    assert_eq!(
+        entries as u64,
+        stats.miss - stats.invalidate - stats.evict,
+        "memo stats do not reconcile: {stats:?}"
+    );
+    assert!(stats.invalidate > 0, "inter-session clicks must invalidate blocks: {stats:?}");
+    let hit_rate = stats.hit as f64 / (stats.hit + stats.miss).max(1) as f64;
+    assert!(
+        hit_rate >= 0.80,
+        "session-replay workload must sustain >=80% steady-state hit rate, got {hit_rate:.3}"
+    );
+
+    // --- Stage wall clock: the memoized work in isolation, interleaved.
+    eprintln!("[bench_memo] stage timing: {stage_laps} laps x {requests_per_lap} requests x {reps} reps");
+    let mut stage_memo = Vec::with_capacity(reps);
+    let mut stage_cold = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        stage_cold.push(run_stage(world, &wl, stage_laps, false));
+        stage_memo.push(run_stage(world, &wl, stage_laps, true));
+    }
+    let stage_requests = (stage_laps * requests_per_lap) as f64;
+    let stage = StageClock {
+        reps,
+        laps_per_rep: stage_laps,
+        requests_per_lap,
+        memoized_us_per_request: median(stage_memo.clone()) * 1e6 / stage_requests,
+        cold_us_per_request: median(stage_cold.clone()) * 1e6 / stage_requests,
+        speedup: median(
+            stage_cold.iter().zip(stage_memo.iter()).map(|(c, m)| c / m).collect(),
+        ),
+    };
+
+    // --- End-to-end wall clock: full serve path, interleaved, fresh
+    // pipelines each rep (cold model, cold cache: the measured delta is the
+    // tier itself, not OS warmup).
+    eprintln!("[bench_memo] end-to-end timing: {reps} interleaved reps");
+    let mut on_samples = Vec::with_capacity(reps);
+    let mut off_samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut pipe = make_pipe(false);
+        let t0 = Instant::now();
+        let (n, _) = run_workload(&mut pipe, world, &wl, false);
+        off_samples.push(t0.elapsed().as_secs_f64());
+        std::hint::black_box(n);
+
+        let mut pipe = make_pipe(true);
+        let t0 = Instant::now();
+        let (n, _) = run_workload(&mut pipe, world, &wl, false);
+        on_samples.push(t0.elapsed().as_secs_f64());
+        std::hint::black_box(n);
+    }
+    let ratios: Vec<f64> =
+        off_samples.iter().zip(on_samples.iter()).map(|(off, on)| off / on).collect();
+    let on_median = median(on_samples);
+    let off_median = median(off_samples);
+    let end_to_end = EndToEndClock {
+        reps,
+        memo_on_median_secs: on_median,
+        memo_off_median_secs: off_median,
+        speedup: median(ratios),
+        per_request_memo_on_us: on_median * 1e6 / served_on as f64,
+        per_request_memo_off_us: off_median * 1e6 / served_on as f64,
+    };
+
+    eprintln!(
+        "[bench_memo] {} requests: hit rate {:.1}% ({} hit / {} miss, {} invalidated); \
+         stage {:.2}us memoized vs {:.2}us cold ({:.1}x); \
+         end-to-end {:.0}us vs {:.0}us ({:.2}x)",
+        served_on,
+        hit_rate * 100.0,
+        stats.hit,
+        stats.miss,
+        stats.invalidate,
+        stage.memoized_us_per_request,
+        stage.cold_us_per_request,
+        stage.speedup,
+        end_to_end.per_request_memo_on_us,
+        end_to_end.per_request_memo_off_us,
+        end_to_end.speedup,
+    );
+    assert!(
+        stage.speedup > 1.0,
+        "memoized stage must beat rebuilding from scratch: {stage:?}",
+    );
+
+    let note = format!(
+        "measured on a {host_threads}-core host. Session-replay workload: each user \
+         issues {} requests per session from one (geohash, hour) tuple; clicks land \
+         between sessions and invalidate exactly the clicked users' blocks. All \
+         timing interleaves the two arms rep by rep on fresh state; speedups are \
+         medians of per-pair ratios. `stage` times the memoized products in \
+         isolation (ring recall + user-block assembly per request) — the \
+         per-request speedup of the work the tier covers. `end_to_end` times full \
+         serve(); model inference dominates that path, so its ratio sits near 1.0 \
+         by construction — it is included to show the tier costs nothing, not to \
+         advertise it. Rep 0 asserts memo-on/off exposures bitwise-equal before \
+         any timing.",
+        wl.requests_per_session,
+    );
+    let report = MemoBench {
+        host_threads,
+        dataset: world.config.name.clone(),
+        requests_total: served_on,
+        workload: wl,
+        hits: HitRate {
+            hit: stats.hit,
+            miss: stats.miss,
+            invalidate: stats.invalidate,
+            evict: stats.evict,
+            hit_rate,
+            entries,
+        },
+        stage,
+        end_to_end,
+        note,
+    };
+    env.write_json("BENCH_memo.json", &report);
+
+    let obs = basm_obs::report();
+    if !obs.is_empty() {
+        eprintln!("{}", obs.to_table());
+    }
+}

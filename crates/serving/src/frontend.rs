@@ -29,6 +29,12 @@
 //! both modes, so per-request exposures must agree to the bit; the
 //! wall-clock difference between the modes is what `bench_load` measures.
 //!
+//! The memo tier (DESIGN.md §12) follows the same snapshot discipline:
+//! input versions are synced once per drained microbatch, so every request
+//! in a batch sees one consistent cache view, and cached feature blocks
+//! feed the block-shaped microbatch scorer
+//! ([`crate::scorer::score_microbatch_blocks`]).
+//!
 //! ## Admission control & shedding
 //!
 //! Two mechanisms protect the deadline budget ([`DeadlinePolicy`]):
@@ -51,14 +57,18 @@
 //! exercises under a hot profile.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
-use basm_data::{BehaviorEvent, Context, World};
+use basm_data::{BehaviorEvent, Context, UserBlock, World};
 use basm_tensor::Prng;
 
 use crate::arrivals::Arrival;
 #[allow(unused_imports)] // DeadlinePolicy: doc links only
 use crate::pipeline::{request_context, DeadlinePolicy, Exposure, Request, ServingPipeline};
-use crate::scorer::{score_candidates, score_microbatch, ScoreJob};
+use crate::scorer::{
+    score_block, score_candidates, score_microbatch, score_microbatch_blocks, BlockScoreJob,
+    ScoreJob,
+};
 
 #[cfg(feature = "faults")]
 use crate::pipeline::stale_keep_len;
@@ -178,12 +188,16 @@ pub struct LoadOutcome {
 }
 
 /// One drained request after admission/triage, waiting for its scores.
+/// With the memo tier on, `block` carries the (possibly cached) user feature
+/// block and `history` stays empty; with the tier off it is the reverse —
+/// the two score bitwise-identically (`tests/memo_equivalence.rs`).
 struct Prep {
     arrival: usize,
     uid: usize,
     queue_wait_ns: u64,
     candidates: Vec<u32>,
     history: VecDeque<BehaviorEvent>,
+    block: Option<Arc<UserBlock>>,
     ctx: Context,
     shed: ShedReason,
 }
@@ -203,6 +217,7 @@ pub fn run_load(
     assert!(cfg.queue_capacity >= 1, "queue capacity must be at least 1");
     assert!(cfg.max_batch >= 1, "microbatch bound must be at least 1");
     let budget_ns = pipe.policy.budget_ns;
+    let memo_on = pipe.memo.enabled();
     // Take the injector out for the run (like `serve_degraded`) so fault
     // draws can interleave with mutable pipeline access.
     #[cfg(feature = "faults")]
@@ -239,6 +254,12 @@ pub fn run_load(
         let drained: Vec<usize> = queue.drain(..take).collect();
         summary.batches += 1;
         basm_obs::record_hist("serving.batch_size", take as u64);
+        // Snapshot input versions once per drained microbatch (DESIGN.md
+        // §12): every batch-mate sees the same embedding version, mirroring
+        // the single counter snapshot phase 2 scores against.
+        if memo_on {
+            pipe.sync_memo_model_version();
+        }
 
         // --- phase 1: per-request recall/features + shed triage, in
         // admission order ---------------------------------------------------
@@ -270,33 +291,52 @@ pub fn run_load(
             // straight to the fallback rung).
             #[allow(unused_mut)]
             let mut scorer_fault = false;
+            // Healthy fetch: cached block (memo on) or raw history (memo
+            // off). The memo tier and the legacy path score bitwise-equal.
+            let healthy_fetch = |pipe: &mut ServingPipeline| {
+                if memo_on {
+                    (VecDeque::new(), Some(pipe.cached_block(world, a.uid, ctx)))
+                } else {
+                    (pipe.features.history_snapshot(a.uid), None)
+                }
+            };
             #[cfg(feature = "faults")]
-            let (history, candidates) = match injector.as_mut() {
+            let (history, block, candidates) = match injector.as_mut() {
                 Some(inj) => {
                     let profile = inj.profile().clone();
-                    let history = match inj.feature_fetch() {
-                        FeatureFault::Ok => pipe.features.history_snapshot(a.uid),
+                    let (history, block) = match inj.feature_fetch() {
+                        FeatureFault::Ok => healthy_fetch(pipe),
                         FeatureFault::Stale => {
                             basm_obs::counter_add("serving.fault.feature_stale", 1);
                             let mut h = pipe.features.history_snapshot(a.uid);
                             h.truncate(stale_keep_len(h.len()));
-                            h
+                            if memo_on {
+                                // Ladder bypass: degraded state never enters
+                                // (or reads) the memo.
+                                let b = pipe.uncached_block(world, a.uid, ctx, &h);
+                                (VecDeque::new(), Some(b))
+                            } else {
+                                (h, None)
+                            }
                         }
                         FeatureFault::Timeout => {
                             basm_obs::counter_add("serving.fault.feature_timeout", 1);
                             basm_obs::counter_add("serving.fallback.history", 1);
                             now += profile.hop_timeout_ns;
-                            VecDeque::new()
+                            let empty = VecDeque::new();
+                            if memo_on {
+                                let b = pipe.uncached_block(world, a.uid, ctx, &empty);
+                                (empty, Some(b))
+                            } else {
+                                (empty, None)
+                            }
                         }
                     };
                     let candidates = match inj.recall() {
-                        RecallFault::Ok => {
-                            pipe.recall.candidates(city, a.geo, pipe.pool, &mut rng)
-                        }
+                        RecallFault::Ok => pipe.ladder_recall(city, a.geo, &mut rng),
                         RecallFault::Partial => {
                             basm_obs::counter_add("serving.fault.recall_partial", 1);
-                            let mut c =
-                                pipe.recall.candidates(city, a.geo, pipe.pool, &mut rng);
+                            let mut c = pipe.ladder_recall(city, a.geo, &mut rng);
                             c.truncate(c.len().div_ceil(2));
                             c
                         }
@@ -304,7 +344,7 @@ pub fn run_load(
                             basm_obs::counter_add("serving.fault.recall_empty", 1);
                             basm_obs::counter_add("serving.fallback.recall", 1);
                             now += profile.hop_timeout_ns;
-                            pipe.popularity_candidates(city)
+                            pipe.popularity_with_memo(city)
                         }
                     };
                     match inj.score() {
@@ -320,18 +360,28 @@ pub fn run_load(
                             scorer_fault = true;
                         }
                     }
-                    (history, candidates)
+                    (history, block, candidates)
                 }
-                None => (
-                    pipe.features.history_snapshot(a.uid),
-                    pipe.recall.candidates(city, a.geo, pipe.pool, &mut rng),
-                ),
+                None => {
+                    let (history, block) = healthy_fetch(pipe);
+                    let candidates = if memo_on {
+                        pipe.recall_with_memo(city, a.geo, &mut rng)
+                    } else {
+                        pipe.recall.candidates(city, a.geo, pipe.pool, &mut rng)
+                    };
+                    (history, block, candidates)
+                }
             };
             #[cfg(not(feature = "faults"))]
-            let (history, candidates) = (
-                pipe.features.history_snapshot(a.uid),
-                pipe.recall.candidates(city, a.geo, pipe.pool, &mut rng),
-            );
+            let (history, block, candidates) = {
+                let (history, block) = healthy_fetch(pipe);
+                let candidates = if memo_on {
+                    pipe.recall_with_memo(city, a.geo, &mut rng)
+                } else {
+                    pipe.recall.candidates(city, a.geo, pipe.pool, &mut rng)
+                };
+                (history, block, candidates)
+            };
 
             // Shed triage: would this request's own nominal scoring cost,
             // on top of its queue wait, overrun the budget?
@@ -355,6 +405,7 @@ pub fn run_load(
                 queue_wait_ns,
                 candidates,
                 history,
+                block,
                 ctx,
                 shed,
             });
@@ -376,7 +427,21 @@ pub fn run_load(
         }
         let mut scores: Vec<Vec<f32>> = preps.iter().map(|_| Vec::new()).collect();
         if !model_idx.is_empty() {
-            let results: Vec<Vec<f32>> = if cfg.coalesce {
+            let results: Vec<Vec<f32>> = if cfg.coalesce && memo_on {
+                let jobs: Vec<BlockScoreJob<'_>> = model_idx
+                    .iter()
+                    .map(|&i| {
+                        let p = &preps[i];
+                        BlockScoreJob {
+                            block: p.block.as_deref().expect("memo-on preps carry blocks"),
+                            candidates: &p.candidates,
+                        }
+                    })
+                    .collect();
+                pipe.features.with_counters(|c| {
+                    score_microbatch_blocks(pipe.model.as_mut(), world, &jobs, c)
+                })
+            } else if cfg.coalesce {
                 let jobs: Vec<ScoreJob<'_>> = model_idx
                     .iter()
                     .map(|&i| {
@@ -396,8 +461,11 @@ pub fn run_load(
                     .iter()
                     .map(|&i| {
                         let p = &preps[i];
-                        pipe.features.with_counters(|c| {
-                            score_candidates(
+                        pipe.features.with_counters(|c| match p.block.as_deref() {
+                            Some(b) => {
+                                score_block(pipe.model.as_mut(), world, b, &p.candidates, c)
+                            }
+                            None => score_candidates(
                                 pipe.model.as_mut(),
                                 world,
                                 p.uid,
@@ -405,7 +473,7 @@ pub fn run_load(
                                 p.ctx,
                                 &p.history,
                                 c,
-                            )
+                            ),
                         })
                     })
                     .collect()

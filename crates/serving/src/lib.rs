@@ -27,11 +27,34 @@
 //! shedding to the degradation ladder's statistics-prior rung when queue
 //! wait would breach the deadline budget. Batched execution is pinned
 //! bitwise-equal to sequential per-request scoring.
+//!
+//! The steady-state hot path is additionally served by the [`memo`] tier
+//! (DESIGN.md §12): user feature blocks and recall products are cached under
+//! explicit input versions bumped by feature-server writes and embedding
+//! updates, so a hit is provably the bytes the cold path would produce.
+//! `BASM_MEMO=0|1` is pinned bitwise-equal in tier1.sh; `serving.memo.*`
+//! counters expose hit/miss/invalidate/evict traffic.
+//!
+//! ```
+//! use basm_data::{World, WorldConfig};
+//! use basm_serving::{Request, ServingPipeline};
+//! use basm_tensor::Prng;
+//!
+//! let cfg = WorldConfig::tiny();
+//! let world = World::generate(cfg.clone());
+//! let model = basm_baselines::build_model("Wide&Deep", &cfg, 1);
+//! let mut pipe = ServingPipeline::new(&world, model, 12, 4);
+//! let mut rng = Prng::seeded(7);
+//! let req = Request { uid: 0, day: 0, hour: 12, geo: world.users[0].geo };
+//! let exposures = pipe.serve(&world, req, &mut rng).unwrap();
+//! assert!(exposures.len() <= 4);
+//! ```
 
 pub mod ab_test;
 pub mod arrivals;
 pub mod feature_server;
 pub mod frontend;
+pub mod memo;
 pub mod pipeline;
 pub mod recall;
 pub mod replay;
@@ -44,7 +67,11 @@ pub use frontend::{
     percentile_ns, run_load, CompletedRequest, CostModel, FrontendConfig, LoadOutcome,
     LoadSummary, ShedReason,
 };
+pub use memo::{MemoCache, MemoConfig, MemoStats};
 pub use pipeline::{DeadlinePolicy, Exposure, Request, ServeError, ServingPipeline};
 pub use recall::LbsRecall;
 pub use replay::{position_ctr_profile, replay_top1, ReplayReport};
-pub use scorer::{score_candidates, score_microbatch, score_sessions, ScoreJob, SessionRequest};
+pub use scorer::{
+    score_block, score_candidates, score_microbatch, score_microbatch_blocks, score_sessions,
+    BlockScoreJob, ScoreJob, SessionRequest,
+};

@@ -1,0 +1,432 @@
+//! Version-keyed memoization tier for the steady-state serving hot path
+//! (DESIGN.md §12, ROADMAP item 1).
+//!
+//! The serving path reassembles features and reruns LBS recall from scratch
+//! on every request, yet its inputs drift slowly: a `(uid, geohash cell,
+//! hour)` tuple is stable across a session, and city-popularity recall only
+//! moves when a click lands. This module caches those products and keys every
+//! cached value on an **explicit version of its inputs** — the monotonic
+//! write counters maintained by [`FeatureServer`](crate::FeatureServer)
+//! (per-user history version, global click version) and
+//! `basm_tensor::nn::EmbeddingStore::version_sum` (bumped by online
+//! `apply_grad`, checkpoint `overwrite`, and trainer `flush_deltas`).
+//! Invalidation is therefore driven by writes, never TTL guesses, and a hit
+//! is provably the bytes the cold path would have produced *right now*:
+//!
+//! * **User feature block** — keyed `(uid, geo, hour)`, stamped with the
+//!   user's history version. `record_click`/`seed_history` bump it;
+//!   `record_exposure` deliberately does not (exposure counters feed only
+//!   item-side features, which are assembled fresh per candidate — see
+//!   `basm_data::UserBlock`).
+//! * **Ring recall** — keyed `(city, geo, limit)`, version-free: the ring
+//!   walk is a pure function of the static item index. The rng-consuming pad
+//!   phase is re-run per request so cached and cold requests draw the
+//!   identical rng stream.
+//! * **Popularity recall** — keyed `city`, stamped with the global click
+//!   version (the fault ladder's LBS-failure rung sorts by click counters).
+//!
+//! The model's embedding version sum guards the whole tier: no cached
+//! product reads embedding weights *today*, but flushing on weight writes
+//! keeps the invariant "a hit never outlives any of its transitive inputs"
+//! true by construction, so a future score-level cache (ROADMAP item 2) can
+//! join without changing the invalidation story. The version-free ring cache
+//! depends only on immutable world geometry and survives the flush.
+//!
+//! Lookups, insertions and evictions are all deterministic — the LRU order
+//! index is a `BTreeMap` over explicit access stamps, never a hash-map
+//! iteration order — so the memo tier preserves the crate's bitwise
+//! replayability contract (`BASM_MEMO=0|1` is pinned equal in tier1.sh).
+//!
+//! ```
+//! use basm_serving::memo::{MemoCache, MemoConfig};
+//!
+//! let mut memo = MemoCache::new(MemoConfig { enabled: true, capacity: 2 });
+//! // First request misses and builds; the repeat hits without rebuilding.
+//! for _ in 0..2 {
+//!     let ring = memo.ring((0u16, (1u8, 1u8), 8u32), || vec![3, 1, 4]);
+//!     assert_eq!(*ring, vec![3, 1, 4]);
+//! }
+//! let s = memo.stats();
+//! assert_eq!((s.hit, s.miss), (1, 1));
+//! ```
+
+use basm_data::UserBlock;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// Memo-tier shape, normally read from the environment
+/// ([`MemoConfig::from_env`]): `BASM_MEMO=0|1` gates the tier,
+/// `BASM_MEMO_CAP` bounds each product cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoConfig {
+    /// Whether the tier is active at all. Off means every helper calls its
+    /// builder unconditionally — literally the pre-memo serving path.
+    pub enabled: bool,
+    /// Maximum entries **per product cache** (blocks, rings, popularity each
+    /// get this budget); the least-recently-used entry is evicted beyond it.
+    pub capacity: usize,
+}
+
+impl Default for MemoConfig {
+    /// On, 4096 entries per product cache.
+    fn default() -> Self {
+        Self { enabled: true, capacity: 4096 }
+    }
+}
+
+impl MemoConfig {
+    /// Read `BASM_MEMO` (`0` disables; default on, like `BASM_POOL`) and
+    /// `BASM_MEMO_CAP` (entries per product cache, default 4096, floor 1).
+    pub fn from_env() -> Self {
+        let enabled = std::env::var("BASM_MEMO").map(|v| v != "0").unwrap_or(true);
+        let capacity = std::env::var("BASM_MEMO_CAP")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(4096)
+            .max(1);
+        Self { enabled, capacity }
+    }
+}
+
+/// Lifetime counters for the tier, mirrored into the `serving.memo.*` obs
+/// counters. The accounting invariant (pinned by the eviction test):
+/// `entries == miss - invalidate - evict` — every miss inserts one entry, a
+/// version-mismatched lookup counts **both** an invalidate and a miss (the
+/// entry is replaced in place), and flushes/evictions remove entries while
+/// bumping their counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered from cache (version matched).
+    pub hit: u64,
+    /// Lookups that ran the cold builder (absent or version-mismatched).
+    pub miss: u64,
+    /// Entries discarded because an input version moved (stale lookups and
+    /// embedding-version flushes).
+    pub invalidate: u64,
+    /// Entries discarded by the capacity bound.
+    pub evict: u64,
+}
+
+/// Deterministic bounded LRU: a `HashMap` for storage plus a `BTreeMap`
+/// keyed by explicit access stamps for recency order. Hash-map iteration
+/// order is never consulted, so for a deterministic access sequence the
+/// eviction sequence is deterministic too — the property the `BASM_MEMO`
+/// bitwise-equality pin rests on.
+struct DetLru<K, V> {
+    map: HashMap<K, (u64, V)>,
+    order: BTreeMap<u64, K>,
+    next_stamp: u64,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> DetLru<K, V> {
+    fn new(capacity: usize) -> Self {
+        Self { map: HashMap::new(), order: BTreeMap::new(), next_stamp: 0, capacity }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Fetch and mark as most-recently-used.
+    fn get(&mut self, k: &K) -> Option<&V> {
+        let stamp = self.next_stamp;
+        let entry = self.map.get_mut(k)?;
+        self.order.remove(&entry.0);
+        entry.0 = stamp;
+        self.order.insert(stamp, k.clone());
+        self.next_stamp += 1;
+        Some(&entry.1)
+    }
+
+    /// Insert (replacing any existing entry for `k`), evicting the
+    /// least-recently-used entry if the cache is over capacity. Returns
+    /// `true` when an eviction happened.
+    fn insert(&mut self, k: K, v: V) -> bool {
+        if let Some((old_stamp, _)) = self.map.remove(&k) {
+            self.order.remove(&old_stamp);
+        }
+        let mut evicted = false;
+        if self.map.len() >= self.capacity {
+            if let Some((&oldest, _)) = self.order.iter().next() {
+                let victim = self.order.remove(&oldest).expect("stamp just observed");
+                self.map.remove(&victim);
+                evicted = true;
+            }
+        }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.order.insert(stamp, k.clone());
+        self.map.insert(k, (stamp, v));
+        evicted
+    }
+
+    /// Drop every entry, returning how many were held.
+    fn clear(&mut self) -> u64 {
+        let n = self.map.len() as u64;
+        self.map.clear();
+        self.order.clear();
+        n
+    }
+}
+
+/// Block cache key: the session-stable request tuple. `city` and
+/// time-period are derived (city from the user profile, time-period from
+/// `hour`), and `day` never reaches the model-facing batch, so `(uid, geo,
+/// hour)` plus the history-version stamp pins the block's bytes exactly.
+pub type BlockKey = (u32, (u8, u8), u8);
+
+/// Ring-recall cache key: `(city, geo, limit)` — the full argument list of
+/// the pure [`ring_candidates`](crate::LbsRecall::ring_candidates) phase.
+pub type RingKey = (u16, (u8, u8), u32);
+
+/// The version-keyed memoization tier. One instance per
+/// [`ServingPipeline`](crate::ServingPipeline) arm — the cache's lifetime
+/// and visibility match the feature state whose versions guard it.
+pub struct MemoCache {
+    config: MemoConfig,
+    /// (history_version, block) per session tuple.
+    blocks: DetLru<BlockKey, (u64, Arc<UserBlock>)>,
+    /// Version-free ring recall (static world geometry).
+    rings: DetLru<RingKey, Arc<Vec<u32>>>,
+    /// (clicks_version, pool) per city.
+    popularity: DetLru<u16, (u64, Arc<Vec<u32>>)>,
+    /// Last observed embedding version sum; `None` until the first sync.
+    model_version: Option<u64>,
+    stats: MemoStats,
+}
+
+impl MemoCache {
+    /// Build a tier with an explicit shape (tests; production uses
+    /// [`MemoCache::from_env`]).
+    pub fn new(config: MemoConfig) -> Self {
+        Self {
+            blocks: DetLru::new(config.capacity),
+            rings: DetLru::new(config.capacity),
+            popularity: DetLru::new(config.capacity),
+            model_version: None,
+            stats: MemoStats::default(),
+            config,
+        }
+    }
+
+    /// Build from `BASM_MEMO` / `BASM_MEMO_CAP` (see [`MemoConfig::from_env`]).
+    pub fn from_env() -> Self {
+        Self::new(MemoConfig::from_env())
+    }
+
+    /// Whether the tier is active. When `false`, callers take the cold path
+    /// unconditionally and no counter moves.
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// Lifetime counters (always on, independent of the obs feature).
+    pub fn stats(&self) -> MemoStats {
+        self.stats
+    }
+
+    /// Live entries across all product caches. Reconciles against
+    /// [`MemoStats`]: `entries == miss - invalidate - evict`.
+    pub fn entries(&self) -> usize {
+        self.blocks.len() + self.rings.len() + self.popularity.len()
+    }
+
+    fn hit(&mut self) {
+        self.stats.hit += 1;
+        basm_obs::counter_add("serving.memo.hit", 1);
+    }
+
+    fn miss(&mut self) {
+        self.stats.miss += 1;
+        basm_obs::counter_add("serving.memo.miss", 1);
+    }
+
+    fn invalidate(&mut self, n: u64) {
+        if n > 0 {
+            self.stats.invalidate += n;
+            basm_obs::counter_add("serving.memo.invalidate", n);
+        }
+    }
+
+    fn evicted(&mut self, happened: bool) {
+        if happened {
+            self.stats.evict += 1;
+            basm_obs::counter_add("serving.memo.evict", 1);
+        }
+    }
+
+    /// Fetch the user feature block for `key`, rebuilding when the stored
+    /// stamp differs from `current_version`. `build` must read the version
+    /// and the state it derives the block from under **one** feature-server
+    /// guard ([`crate::FeatureServer::with_versioned_state`]) and return
+    /// both — that
+    /// is what guarantees the stored stamp exactly matches the stored bytes
+    /// even when writes race the build (a racing write can only make the
+    /// stamp *newer* than `current_version`, which reads as a conservative
+    /// miss next time, never a stale hit).
+    pub fn user_block(
+        &mut self,
+        key: BlockKey,
+        current_version: u64,
+        build: impl FnOnce() -> (u64, UserBlock),
+    ) -> Arc<UserBlock> {
+        match self.blocks.get(&key) {
+            Some((v, block)) if *v == current_version => {
+                let block = Arc::clone(block);
+                self.hit();
+                return block;
+            }
+            Some(_) => {
+                // Present but stale: replaced in place below.
+                self.invalidate(1);
+            }
+            None => {}
+        }
+        self.miss();
+        let (version, block) = build();
+        let block = Arc::new(block);
+        let ev = self.blocks.insert(key, (version, Arc::clone(&block)));
+        self.evicted(ev);
+        block
+    }
+
+    /// Fetch the ring-recall result for `key`. No version stamp: the ring
+    /// walk reads only the immutable item index, so an entry can never go
+    /// stale (it survives even the embedding-version flush).
+    pub fn ring(&mut self, key: RingKey, build: impl FnOnce() -> Vec<u32>) -> Arc<Vec<u32>> {
+        if let Some(ring) = self.rings.get(&key) {
+            let ring = Arc::clone(ring);
+            self.hit();
+            return ring;
+        }
+        self.miss();
+        let ring = Arc::new(build());
+        let ev = self.rings.insert(key, Arc::clone(&ring));
+        self.evicted(ev);
+        ring
+    }
+
+    /// Fetch the city-popularity pool, rebuilding when the global click
+    /// version moved. Same stamp discipline as [`MemoCache::user_block`]:
+    /// `build` returns the version it actually read alongside the pool.
+    pub fn popularity(
+        &mut self,
+        city: u16,
+        current_version: u64,
+        build: impl FnOnce() -> (u64, Vec<u32>),
+    ) -> Arc<Vec<u32>> {
+        match self.popularity.get(&city) {
+            Some((v, pool)) if *v == current_version => {
+                let pool = Arc::clone(pool);
+                self.hit();
+                return pool;
+            }
+            Some(_) => {
+                self.invalidate(1);
+            }
+            None => {}
+        }
+        self.miss();
+        let (version, pool) = build();
+        let pool = Arc::new(pool);
+        let ev = self.popularity.insert(city, (version, Arc::clone(&pool)));
+        self.evicted(ev);
+        pool
+    }
+
+    /// Observe the model's embedding version sum (the pipeline calls this
+    /// once per request, the front-end once per drained microbatch). On
+    /// change, every versioned product is flushed — conservative today (no
+    /// cached product reads embedding weights) but it keeps "a hit never
+    /// outlives any transitive input" true by construction. The first
+    /// observation just records the baseline.
+    pub fn sync_model_version(&mut self, version_sum: u64) {
+        if self.model_version == Some(version_sum) {
+            return;
+        }
+        if self.model_version.is_some() {
+            let flushed = self.blocks.clear() + self.popularity.clear();
+            self.invalidate(flushed);
+        }
+        self.model_version = Some(version_sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(uid: u32) -> (u64, UserBlock) {
+        // A structurally-valid block is not needed for cache-mechanics
+        // tests; versions and identity are. Build the cheapest possible one.
+        let world = basm_data::World::generate(basm_data::WorldConfig::tiny());
+        let ctx = basm_data::Context {
+            day: 0,
+            hour: 12,
+            tp: basm_data::TimePeriod::Lunch,
+            city: world.users[uid as usize].city,
+            geo: world.users[uid as usize].geo,
+            position: 0,
+        };
+        let counters = basm_data::StatCounters::new(
+            world.config.n_users,
+            world.config.n_items,
+        );
+        (0, UserBlock::build(&world, uid as usize, ctx, &Default::default(), &counters))
+    }
+
+    #[test]
+    fn hit_after_miss_and_invalidate_on_version_change() {
+        let mut memo = MemoCache::new(MemoConfig { enabled: true, capacity: 8 });
+        let key = (0u32, (1u8, 1u8), 12u8);
+        let _ = memo.user_block(key, 0, || block(0));
+        let _ = memo.user_block(key, 0, || panic!("must hit"));
+        // Version moved: the entry is stale — rebuild, replaced in place.
+        let _ = memo.user_block(key, 1, || (1, block(0).1));
+        let s = memo.stats();
+        assert_eq!((s.hit, s.miss, s.invalidate, s.evict), (1, 2, 1, 0));
+        assert_eq!(memo.entries(), (s.miss - s.invalidate - s.evict) as usize);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_deterministically() {
+        let mut memo = MemoCache::new(MemoConfig { enabled: true, capacity: 2 });
+        let k = |i: u16| (i, (0u8, 0u8), 4u32);
+        let _ = memo.ring(k(1), || vec![1]);
+        let _ = memo.ring(k(2), || vec![2]);
+        let _ = memo.ring(k(1), || panic!("1 must still be cached")); // touch 1
+        let _ = memo.ring(k(3), || vec![3]); // evicts 2, the LRU
+        let _ = memo.ring(k(1), || panic!("1 must survive"));
+        let _ = memo.ring(k(2), || vec![2]); // 2 is gone: miss + evicts 3
+        let s = memo.stats();
+        assert_eq!((s.hit, s.miss, s.evict), (2, 4, 2));
+        assert_eq!(memo.entries(), (s.miss - s.invalidate - s.evict) as usize);
+    }
+
+    #[test]
+    fn model_version_flush_spares_the_ring_cache() {
+        let mut memo = MemoCache::new(MemoConfig { enabled: true, capacity: 8 });
+        memo.sync_model_version(10);
+        let _ = memo.user_block((0, (0, 0), 9), 0, || block(0));
+        let _ = memo.popularity(0, 0, || (0, vec![5, 4]));
+        let _ = memo.ring((0, (0, 0), 4), || vec![1, 2]);
+        assert_eq!(memo.entries(), 3);
+
+        memo.sync_model_version(10); // unchanged: nothing happens
+        assert_eq!(memo.stats().invalidate, 0);
+
+        memo.sync_model_version(11); // a weight write landed
+        assert_eq!(memo.stats().invalidate, 2, "block + popularity flushed");
+        assert_eq!(memo.entries(), 1, "the version-free ring entry survives");
+        let _ = memo.ring((0, (0, 0), 4), || panic!("ring must survive the flush"));
+    }
+
+    #[test]
+    fn config_defaults() {
+        let cfg = MemoConfig::default();
+        assert!(cfg.enabled);
+        assert_eq!(cfg.capacity, 4096);
+    }
+}

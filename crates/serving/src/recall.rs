@@ -39,6 +39,11 @@ impl LbsRecall {
 
     /// Recall up to `limit` candidates near `(city, geo)`, expanding the
     /// search radius ring by ring; falls back to sampling the whole city.
+    ///
+    /// Composition of the two phases below: [`LbsRecall::ring_candidates`]
+    /// (deterministic, rng-free — the part the memo tier caches) followed by
+    /// [`LbsRecall::pad_from_city`] (draws from `rng` — always re-run per
+    /// request so cached and cold requests consume the identical rng stream).
     pub fn candidates(
         &self,
         city: u16,
@@ -46,6 +51,17 @@ impl LbsRecall {
         limit: usize,
         rng: &mut Prng,
     ) -> Vec<u32> {
+        let mut out = self.ring_candidates(city, geo, limit);
+        self.pad_from_city(city, &mut out, limit, rng);
+        out
+    }
+
+    /// The deterministic ring-walk phase of recall: collect items from
+    /// concentric geohash rings around `geo` until `limit` is reached or the
+    /// grid is exhausted. A pure function of the (static) item index and the
+    /// arguments — no rng, no counters — which is what makes it safe to
+    /// memoize without a version stamp (DESIGN.md §12).
+    pub fn ring_candidates(&self, city: u16, geo: (u8, u8), limit: usize) -> Vec<u32> {
         let city = city as usize;
         let mut out: Vec<u32> = Vec::with_capacity(limit);
         let g = self.grid as i32;
@@ -71,8 +87,15 @@ impl LbsRecall {
                 break;
             }
         }
-        // Fallback: pad from the whole city pool.
-        let pool = &self.by_city[city];
+        out
+    }
+
+    /// The stochastic pad phase of recall: top `out` up from the whole city
+    /// pool when the ring walk came up short. Consumes `rng` draws, so it is
+    /// **never** memoized — a request served from the ring cache replays
+    /// this phase and draws the exact same stream as a cold request.
+    pub fn pad_from_city(&self, city: u16, out: &mut Vec<u32>, limit: usize, rng: &mut Prng) {
+        let pool = &self.by_city[city as usize];
         let mut guard = 0;
         while out.len() < limit && !pool.is_empty() && guard < limit * 20 {
             let cand = pool[rng.below(pool.len())];
@@ -81,7 +104,6 @@ impl LbsRecall {
             }
             guard += 1;
         }
-        out
     }
 }
 

@@ -3,7 +3,10 @@
 //! runs model inference.
 
 use basm_core::model::{predict, CtrModel};
-use basm_data::{append_example, BehaviorEvent, Context, Dataset, StatCounters, World};
+use basm_data::{
+    append_example, append_example_from_block, BehaviorEvent, Context, Dataset, StatCounters,
+    UserBlock, World,
+};
 use basm_tensor::pool;
 use std::collections::VecDeque;
 
@@ -38,6 +41,88 @@ pub fn score_candidates(
     };
     let _t = basm_obs::hist_timer("serving.predict_ns");
     predict(model, &batch)
+}
+
+/// Score `candidates` from a pre-assembled (possibly memo-cached) user
+/// feature block. Row-for-row bitwise identical to [`score_candidates`] for
+/// the history/counters the block was built from: the block replays the
+/// user/context columns and `append_example_from_block` recomputes the
+/// item-side columns (including the exposure statistics that move on every
+/// request) against the **current** `counters`, exactly as the cold path
+/// would. Same latency histograms as the cold path — the memo tier's payoff
+/// shows up inside `serving.assemble_ns`, not as a differently-shaped
+/// metric.
+pub fn score_block(
+    model: &mut dyn CtrModel,
+    world: &World,
+    block: &UserBlock,
+    candidates: &[u32],
+    counters: &StatCounters,
+) -> Vec<f32> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let _e2e = basm_obs::hist_timer("serving.e2e_ns");
+    let batch = {
+        let _t = basm_obs::hist_timer("serving.assemble_ns");
+        let mut ds = Dataset::empty(world.config.clone());
+        for &iid in candidates {
+            append_example_from_block(&mut ds, world, block, iid, counters);
+        }
+        let indices: Vec<usize> = (0..candidates.len()).collect();
+        ds.batch(&indices)
+    };
+    let _t = basm_obs::hist_timer("serving.predict_ns");
+    predict(model, &batch)
+}
+
+/// One request's slice of a block-path microbatch (the memo-enabled
+/// counterpart of [`ScoreJob`]).
+pub struct BlockScoreJob<'a> {
+    /// The user/context feature block (cached or freshly built).
+    pub block: &'a UserBlock,
+    /// The request's candidate items.
+    pub candidates: &'a [u32],
+}
+
+/// Microbatched counterpart of [`score_block`]: every candidate row from
+/// every job assembled into one batch and one forward pass. Carries the same
+/// per-row bitwise contract as [`score_microbatch`] — coalescing changes
+/// wall-clock, never bits.
+pub fn score_microbatch_blocks(
+    model: &mut dyn CtrModel,
+    world: &World,
+    jobs: &[BlockScoreJob<'_>],
+    counters: &StatCounters,
+) -> Vec<Vec<f32>> {
+    let total: usize = jobs.iter().map(|j| j.candidates.len()).sum();
+    if total == 0 {
+        return jobs.iter().map(|_| Vec::new()).collect();
+    }
+    let _span = basm_obs::span!("serving.microbatch", jobs = jobs.len(), rows = total);
+    let batch = {
+        let _t = basm_obs::hist_timer("serving.assemble_ns");
+        let mut ds = Dataset::empty(world.config.clone());
+        for job in jobs {
+            for &iid in job.candidates {
+                append_example_from_block(&mut ds, world, job.block, iid, counters);
+            }
+        }
+        let indices: Vec<usize> = (0..total).collect();
+        ds.batch(&indices)
+    };
+    let flat = {
+        let _t = basm_obs::hist_timer("serving.predict_ns");
+        predict(model, &batch)
+    };
+    let mut out = Vec::with_capacity(jobs.len());
+    let mut off = 0usize;
+    for job in jobs {
+        let n = job.candidates.len();
+        out.push(flat[off..off + n].to_vec());
+        off += n;
+    }
+    out
 }
 
 /// One request's slice of a cross-request microbatch (borrowed views — the
@@ -261,6 +346,58 @@ mod tests {
                 v.iter().map(|r| r.iter().map(|s| s.to_bits()).collect()).collect()
             };
         assert_eq!(bits(&coalesced), bits(&solo), "coalescing changed a scored row");
+    }
+
+    /// The memo tier's block path must be invisible in the scores: assembling
+    /// from a pre-built `UserBlock` (solo and microbatched) produces the same
+    /// bits as assembling from the raw history.
+    #[test]
+    fn block_scoring_bitwise_matches_history_scoring() {
+        let cfg = WorldConfig::tiny();
+        let world = World::generate(cfg.clone());
+        let mut counters = StatCounters::new(cfg.n_users, cfg.n_items);
+        for i in 0..cfg.n_items {
+            counters.item_exposures[i] = (i as u32 * 5) % 37;
+            counters.item_clicks[i] = (i as u32 * 2) % 9;
+        }
+        counters.user_clicks[1] = 14;
+        counters.user_orders[1] = 3;
+        let history: VecDeque<BehaviorEvent> = (0..7)
+            .map(|i| BehaviorEvent {
+                item: i,
+                cat: (i as usize % cfg.n_categories) as u16,
+                brand: (i as usize % cfg.n_brands) as u16,
+                tp: (i % 5) as u8,
+                hour: (i % 24) as u8,
+                city: world.users[1].city,
+                gx: (i as usize % cfg.geo_grid) as u8,
+                gy: (i as usize % cfg.geo_grid) as u8,
+            })
+            .collect();
+        let ctx = Context {
+            day: 2,
+            hour: 19,
+            tp: TimePeriod::Dinner,
+            city: world.users[1].city,
+            geo: world.users[1].geo,
+            position: 0,
+        };
+        let cands = [2u32, 5, 9, 11];
+        let bits = |v: Vec<f32>| -> Vec<u32> { v.iter().map(|s| s.to_bits()).collect() };
+
+        let mut cold_model = build_model("BASM", &cfg, 1);
+        let cold =
+            bits(score_candidates(cold_model.as_mut(), &world, 1, &cands, ctx, &history, &counters));
+
+        let block = basm_data::UserBlock::build(&world, 1, ctx, &history, &counters);
+        let mut block_model = build_model("BASM", &cfg, 1);
+        let solo = bits(score_block(block_model.as_mut(), &world, &block, &cands, &counters));
+        assert_eq!(cold, solo, "block path changed solo scores");
+
+        let mut mb_model = build_model("BASM", &cfg, 1);
+        let jobs = [BlockScoreJob { block: &block, candidates: &cands }];
+        let mb = score_microbatch_blocks(mb_model.as_mut(), &world, &jobs, &counters);
+        assert_eq!(cold, bits(mb.into_iter().next().unwrap()), "block microbatch changed scores");
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! The memoization tier's contract (DESIGN.md §12):
+//!
+//! 1. **Bitwise invisibility** — `BASM_MEMO=1` serves exactly the bytes
+//!    `BASM_MEMO=0` would, exposures and scores alike, under any
+//!    interleaving of online-update writes and requests (a cache hit is
+//!    provably the cold path's output, because every cached product is
+//!    version-stamped by its inputs' write counters).
+//! 2. **Write-driven invalidation** — clicks/seeds bump the per-user history
+//!    version and are visible on the very next request; embedding writes
+//!    (checkpoint restore, `flush_deltas`) flush every versioned product.
+//! 3. **Bounded memory** — the capacity knob evicts deterministically, and
+//!    the `MemoStats` counters reconcile with the live entry count:
+//!    `entries == miss - invalidate - evict`.
+
+use basm_baselines::build_model;
+use basm_data::{BehaviorEvent, World, WorldConfig};
+use basm_serving::{Exposure, MemoConfig, Request, ServingPipeline};
+use basm_tensor::Prng;
+use proptest::prelude::*;
+
+/// A pipeline with an explicit memo setting — tests must not inherit the
+/// ambient `BASM_MEMO`/`BASM_FAULTS` (tier1.sh sweeps both over this suite).
+fn pipeline(world: &World, memo: bool) -> ServingPipeline {
+    let mut pipe =
+        ServingPipeline::new(world, build_model("Wide&Deep", &world.config, 1), 12, 5);
+    #[cfg(feature = "faults")]
+    pipe.set_faults(None);
+    pipe.set_memo(MemoConfig { enabled: memo, capacity: 4096 });
+    pipe
+}
+
+/// A click event for `item` consistent with the world's item profile.
+fn click_event(world: &World, item: u32, hour: u8) -> BehaviorEvent {
+    let it = &world.items[item as usize % world.items.len()];
+    BehaviorEvent {
+        item: item % world.items.len() as u32,
+        cat: it.category,
+        brand: it.brand,
+        tp: basm_data::TimePeriod::from_hour(hour).index() as u8,
+        hour,
+        city: it.city,
+        gx: it.geo.0,
+        gy: it.geo.1,
+    }
+}
+
+fn exposure_bits(exposures: &[Exposure]) -> Vec<(u32, u16, u32)> {
+    exposures.iter().map(|e| (e.item, e.position, e.score.to_bits())).collect()
+}
+
+/// Session-shaped traffic with clicks interleaved: repeated (uid, geo, hour)
+/// tuples hit the cache, clicks invalidate exactly the clicked user, and the
+/// served bytes never differ from the memo-off twin.
+#[test]
+fn memo_on_off_serve_loop_bitwise_equal_with_clicks_interleaved() {
+    let cfg = WorldConfig::tiny();
+    let world = World::generate(cfg.clone());
+    let mut memo_on = pipeline(&world, true);
+    let mut memo_off = pipeline(&world, false);
+    let mut rng_on = Prng::seeded(17);
+    let mut rng_off = Prng::seeded(17);
+
+    for round in 0..3u32 {
+        for uid in 0..6usize {
+            let req = Request {
+                uid,
+                day: round as u16,
+                hour: 12 + (uid % 3) as u8,
+                geo: world.users[uid].geo,
+            };
+            // Several requests per session tuple: steady-state cache hits.
+            for _ in 0..3 {
+                let a = memo_on.serve(&world, req, &mut rng_on).expect("in-range");
+                let b = memo_off.serve(&world, req, &mut rng_off).expect("in-range");
+                assert_eq!(
+                    exposure_bits(&a),
+                    exposure_bits(&b),
+                    "memo changed served bytes for {req:?} in round {round}"
+                );
+            }
+        }
+        // Between sessions: clicks land for half the users, bumping their
+        // history versions (and the global click version).
+        for uid in (0..6usize).step_by(2) {
+            let ev = click_event(&world, (round * 7 + uid as u32) % 50, 13);
+            memo_on.features.record_click(uid, ev, uid % 4 == 0);
+            memo_off.features.record_click(uid, ev, uid % 4 == 0);
+        }
+    }
+
+    // Both arms evolved identical online state.
+    let on_expo = memo_on.features.with_counters(|c| c.item_exposures.clone());
+    let off_expo = memo_off.features.with_counters(|c| c.item_exposures.clone());
+    assert_eq!(on_expo, off_expo, "exposure write-back diverged");
+
+    // The cache actually worked and actually invalidated.
+    let s = memo_on.memo_stats();
+    assert!(s.hit > 0, "no steady-state hits in session-shaped traffic: {s:?}");
+    assert!(s.invalidate > 0, "clicks must have invalidated blocks: {s:?}");
+    assert_eq!(
+        memo_on.memo_entries(),
+        (s.miss - s.invalidate - s.evict) as usize,
+        "stats do not reconcile with live entries: {s:?}"
+    );
+    assert_eq!(memo_off.memo_stats(), Default::default(), "disabled tier must not count");
+}
+
+/// The capacity knob: a tier sized far below the working set keeps serving
+/// correct bytes, evicts deterministically, and the counters reconcile.
+#[test]
+fn eviction_under_capacity_reconciles_counters() {
+    let cfg = WorldConfig::tiny();
+    let world = World::generate(cfg.clone());
+    let mut tiny_cache = pipeline(&world, true);
+    tiny_cache.set_memo(MemoConfig { enabled: true, capacity: 3 });
+    let mut memo_off = pipeline(&world, false);
+    let mut rng_a = Prng::seeded(23);
+    let mut rng_b = Prng::seeded(23);
+
+    // Working set of 8 users cycled twice through a 3-entry cache.
+    for round in 0..2 {
+        for uid in 0..8usize {
+            let req = Request { uid, day: round, hour: 12, geo: world.users[uid].geo };
+            let a = tiny_cache.serve(&world, req, &mut rng_a).expect("in-range");
+            let b = memo_off.serve(&world, req, &mut rng_b).expect("in-range");
+            assert_eq!(exposure_bits(&a), exposure_bits(&b), "eviction changed bytes");
+        }
+    }
+
+    let s = tiny_cache.memo_stats();
+    assert!(s.evict > 0, "an 8-user working set must overflow a 3-entry cache: {s:?}");
+    assert_eq!(
+        tiny_cache.memo_entries(),
+        (s.miss - s.invalidate - s.evict) as usize,
+        "PoolStats-style reconciliation failed: {s:?}"
+    );
+    // Capacity bound holds per product cache (blocks + rings here).
+    assert!(tiny_cache.memo_entries() <= 2 * 3, "capacity bound breached: {s:?}");
+}
+
+/// Embedding writes guard the whole tier: a checkpoint-style
+/// `overwrite_table` — even with byte-identical weights — bumps the table
+/// version, which must flush every versioned memo product on the next
+/// request (the conservative invariant that lets a future score cache join
+/// without new invalidation plumbing).
+#[test]
+fn embedding_version_bump_flushes_the_memo() {
+    let cfg = WorldConfig::tiny();
+    let world = World::generate(cfg.clone());
+    let mut memo_on = pipeline(&world, true);
+    let mut memo_off = pipeline(&world, false);
+    let mut rng_on = Prng::seeded(31);
+    let mut rng_off = Prng::seeded(31);
+    let req = Request { uid: 2, day: 0, hour: 13, geo: world.users[2].geo };
+
+    // Warm the cache: second serve hits.
+    for _ in 0..2 {
+        let a = memo_on.serve(&world, req, &mut rng_on).expect("in-range");
+        let b = memo_off.serve(&world, req, &mut rng_off).expect("in-range");
+        assert_eq!(exposure_bits(&a), exposure_bits(&b));
+    }
+    let before = memo_on.memo_stats();
+    assert!(before.hit > 0, "repeat request must hit: {before:?}");
+    assert_eq!(before.invalidate, 0);
+
+    // A weight write with unchanged values: version moves, bytes don't.
+    for pipe in [&mut memo_on, &mut memo_off] {
+        let emb = &mut pipe.model.embedder().emb;
+        let name = emb.table_versions()[0].0.to_string();
+        let id = emb.id_of(&name).expect("first table resolves");
+        let (w, acc) = emb.table(id).snapshot();
+        emb.overwrite_table(id, &w, &acc);
+    }
+
+    let a = memo_on.serve(&world, req, &mut rng_on).expect("in-range");
+    let b = memo_off.serve(&world, req, &mut rng_off).expect("in-range");
+    assert_eq!(exposure_bits(&a), exposure_bits(&b), "post-flush bytes diverged");
+    let after = memo_on.memo_stats();
+    assert!(
+        after.invalidate > before.invalidate,
+        "embedding version bump must flush versioned products: {after:?}"
+    );
+    assert!(after.miss > before.miss, "post-flush request must rebuild: {after:?}");
+}
+
+/// One step of the op-interleaving property test.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Serve a request for `uid` at `hour`.
+    Serve { uid: usize, hour: u8 },
+    /// Record a click for `uid` on `item`.
+    Click { uid: usize, item: u32, ordered: bool },
+    /// Seed `n` events into `uid`'s history.
+    Seed { uid: usize, n: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Serve-heavy mix (kind 0-2 serve, 3-4 click, 5 seed) so interleavings
+    // exercise hits, not just writes.
+    (0u32..6, 0usize..1000, 0u32..10_000, 0u8..24).prop_map(|(kind, uid, item, hour)| {
+        match kind {
+            0..=2 => Op::Serve { uid, hour },
+            3 | 4 => Op::Click { uid, item, ordered: item % 3 == 0 },
+            _ => Op::Seed { uid, n: 1 + item as usize % 5 },
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary interleavings of online-update writes and requests never
+    /// serve a stale version: the memo-off twin recomputes everything from
+    /// scratch on every request, so bitwise equality of every served
+    /// exposure list *is* the freshness proof.
+    #[test]
+    fn arbitrary_write_request_interleavings_never_serve_stale_bytes(
+        ops in proptest::collection::vec(op_strategy(), 1..30),
+        seed in 0u64..1_000,
+    ) {
+        let cfg = WorldConfig::tiny();
+        let world = World::generate(cfg.clone());
+        let mut memo_on = pipeline(&world, true);
+        let mut memo_off = pipeline(&world, false);
+        let mut rng_on = Prng::seeded(seed);
+        let mut rng_off = Prng::seeded(seed);
+
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Serve { uid, hour } => {
+                    let uid = uid % world.users.len();
+                    let req = Request { uid, day: 0, hour, geo: world.users[uid].geo };
+                    let a = memo_on.serve(&world, req, &mut rng_on).expect("in-range");
+                    let b = memo_off.serve(&world, req, &mut rng_off).expect("in-range");
+                    prop_assert_eq!(
+                        exposure_bits(&a),
+                        exposure_bits(&b),
+                        "stale bytes served at op {} ({:?})", i, op
+                    );
+                }
+                Op::Click { uid, item, ordered } => {
+                    let uid = uid % world.users.len();
+                    let ev = click_event(&world, item, (item % 24) as u8);
+                    memo_on.features.record_click(uid, ev, ordered);
+                    memo_off.features.record_click(uid, ev, ordered);
+                }
+                Op::Seed { uid, n } => {
+                    let uid = uid % world.users.len();
+                    let events: Vec<BehaviorEvent> =
+                        (0..n).map(|j| click_event(&world, uid as u32 + j as u32, 9)).collect();
+                    memo_on.features.seed_history(uid, events.clone());
+                    memo_off.features.seed_history(uid, events);
+                }
+            }
+        }
+        // Online state agrees at the end of every interleaving.
+        let on = memo_on.features.with_counters(|c| c.item_exposures.clone());
+        let off = memo_off.features.with_counters(|c| c.item_exposures.clone());
+        prop_assert_eq!(on, off, "exposure state diverged");
+        let s = memo_on.memo_stats();
+        prop_assert_eq!(
+            memo_on.memo_entries() as u64,
+            s.miss - s.invalidate - s.evict,
+            "stats reconciliation failed: {:?}", s
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Telemetry contract of the memoization tier, tested under the `obs`
+//! feature. Own integration-test binary for the same reason as
+//! `frontend_obs.rs`: the obs registry is process-global and must not be
+//! shared with other tests that also pump serving traffic.
+
+#![cfg(feature = "obs")]
+
+use basm_baselines::build_model;
+use basm_data::{World, WorldConfig};
+use basm_serving::{
+    generate_arrivals, run_load, ArrivalConfig, FrontendConfig, MemoConfig, ServingPipeline,
+};
+
+/// The `serving.memo.*` counters must agree exactly with the tier's own
+/// `MemoStats`, and the lookup traffic must reconcile with the load summary:
+/// every completed request performs exactly two memo lookups (one ring
+/// recall, one user block — both before shed triage), so
+/// `hit + miss == 2 * completed` on a fault-free run.
+#[test]
+fn memo_counters_reconcile_with_stats_and_load_summary() {
+    basm_obs::set_enabled(Some(true));
+    basm_obs::reset();
+
+    let world = World::generate(WorldConfig::tiny());
+    let arrivals = generate_arrivals(
+        &world,
+        &ArrivalConfig { qps: 400.0, duration_ns: 1_000_000_000, ..ArrivalConfig::default() },
+    );
+    let mut pipe =
+        ServingPipeline::new(&world, build_model("Wide&Deep", &world.config, 1), 16, 6);
+    #[cfg(feature = "faults")]
+    pipe.set_faults(None);
+    // Explicit memo shape: this test's counts must not depend on the ambient
+    // BASM_MEMO/BASM_MEMO_CAP that tier1.sh sweeps over the suite.
+    pipe.set_memo(MemoConfig { enabled: true, capacity: 4096 });
+
+    let out = run_load(&mut pipe, &world, &arrivals, &FrontendConfig::default());
+    let s = pipe.memo_stats();
+
+    let report = basm_obs::report();
+    let counter = |name: &str| {
+        report.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+    };
+    assert_eq!(counter("serving.memo.hit"), s.hit, "obs hit counter drifted from MemoStats");
+    assert_eq!(counter("serving.memo.miss"), s.miss, "obs miss counter drifted");
+    assert_eq!(counter("serving.memo.invalidate"), s.invalidate, "obs invalidate drifted");
+    assert_eq!(counter("serving.memo.evict"), s.evict, "obs evict counter drifted");
+
+    // Two lookups per completed request: ring recall + user block.
+    assert_eq!(
+        s.hit + s.miss,
+        2 * out.summary.completed as u64,
+        "lookup traffic does not reconcile with completions: {s:?} vs {:?}",
+        out.summary
+    );
+    // Session-shaped arrivals repeat (uid, geo, hour) tuples, so the tier
+    // must actually hit, and the entry accounting must close.
+    assert!(s.hit > 0, "no hits under steady traffic: {s:?}");
+    assert_eq!(pipe.memo_entries(), (s.miss - s.invalidate - s.evict) as usize);
+
+    basm_obs::set_enabled(None);
+    basm_obs::reset();
+}

@@ -52,6 +52,29 @@
 //! and serving exposures match to the last ULP whichever backend
 //! `BASM_EMB_STORE` selects (pinned by the embedding-store and serving
 //! equivalence tests, and swept by `scripts/tier1.sh`).
+//!
+//! ## Example: write, reopen, update, replay
+//!
+//! ```
+//! use basm_tensor::packstore::{write_table, PackTable, PackOptions, fresh_temp_dir};
+//!
+//! let dir = fresh_temp_dir();
+//! let (rows, dim) = (4usize, 2usize);
+//! let weights: Vec<f32> = (0..rows * dim).map(|i| i as f32).collect();
+//! let accum = vec![0.5f32; rows * dim];
+//! write_table(&dir, "emb", rows, dim, &weights, &accum, PackOptions::default()).unwrap();
+//!
+//! // A warm open validates headers and the index CRC but reads no payload.
+//! let mut t = PackTable::open(&dir, "emb", rows, dim, PackOptions::default()).unwrap();
+//! assert_eq!(&t.record(3)[..dim], &weights[3 * dim..]); // weights half of row 3
+//!
+//! // Online update -> durable delta chunk -> replayed on the next open.
+//! t.write_record(3, &[9.0, 9.0, 1.0, 1.0]);
+//! t.flush_deltas().unwrap();
+//! let reopened = PackTable::open(&dir, "emb", rows, dim, PackOptions::default()).unwrap();
+//! assert_eq!(&reopened.record(3)[..dim], &[9.0, 9.0]);
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
 
 mod dir;
 mod format;

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Docs gate: every markdown link in the operator-facing docs must resolve.
+#
+# Checks, for each file passed (default: README.md DESIGN.md EXPERIMENTS.md
+# ROADMAP.md):
+#   * `[text](#anchor)`        — anchor must match a heading in the same file
+#   * `[text](file#anchor)`    — file must exist and contain the heading
+#   * `[text](path)`           — relative path must exist (file or directory)
+# http(s) links are skipped (no network in CI). Anchors are slugified the
+# way GitHub does: lowercase, punctuation stripped, spaces to hyphens.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+    files=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md)
+fi
+
+# Print the GitHub-style anchor slugs of every heading in $1.
+anchors_of() {
+    grep -E '^#{1,6} ' "$1" \
+        | sed -E 's/^#{1,6} +//' \
+        | tr '[:upper:]' '[:lower:]' \
+        | sed -E 's/`//g; s/[^a-z0-9 _-]//g; s/ /-/g'
+}
+
+fail=0
+for doc in "${files[@]}"; do
+    if [ ! -f "$doc" ]; then
+        echo "check_docs: MISSING DOC $doc" >&2
+        fail=1
+        continue
+    fi
+    anchors=$(anchors_of "$doc")
+    # Pull out link targets: [text](target). One per line; ignore images'
+    # leading '!' by matching the parenthesized group only.
+    targets=$(grep -oE '\]\([^)[:space:]]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//') || true
+    while IFS= read -r target; do
+        [ -z "$target" ] && continue
+        case "$target" in
+            http://*|https://*|mailto:*) continue ;;
+        esac
+        file=${target%%#*}
+        anchor=""
+        case "$target" in
+            *'#'*) anchor=${target#*#} ;;
+        esac
+        if [ -n "$file" ] && [ ! -e "$file" ]; then
+            echo "check_docs: $doc -> broken path '$target'" >&2
+            fail=1
+            continue
+        fi
+        if [ -n "$anchor" ]; then
+            if [ -n "$file" ]; then
+                have=$(anchors_of "$file")
+            else
+                have=$anchors
+            fi
+            if ! printf '%s\n' "$have" | grep -qxF "$anchor"; then
+                where=${file:-$doc}
+                echo "check_docs: $doc -> anchor '#$anchor' not found in $where" >&2
+                fail=1
+            fi
+        fi
+    done <<< "$targets"
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_docs: FAILED" >&2
+    exit 1
+fi
+echo "check_docs: OK (${files[*]})"

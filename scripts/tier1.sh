@@ -59,6 +59,22 @@ done
 echo "== tier1: basm-tensor tests (BASM_EMB_STORE=pack, BASM_PACK_MMAP=0) =="
 BASM_EMB_STORE=pack BASM_PACK_MMAP=0 cargo test -q -p basm-tensor --tests
 
+# The memoization tier (DESIGN.md §12) must be bitwise-invisible: the serving
+# suite — whose equivalence tests pin memo-on exposures and predictions equal
+# to memo-off — has to stay green with the tier disabled and enabled, across
+# the thread and embedding-store dimensions it composes with (a cached block
+# must reproduce the cold path's bytes whichever matmul path or table
+# residency serves the rebuild).
+for memo in 0 1; do
+    for threads in 1 4; do
+        for store in ram pack; do
+            echo "== tier1: basm-serving tests (BASM_MEMO=$memo, BASM_THREADS=$threads, BASM_EMB_STORE=$store) =="
+            BASM_MEMO=$memo BASM_THREADS=$threads BASM_EMB_STORE=$store \
+                cargo test -q -p basm-serving --tests
+        done
+    done
+done
+
 for obs in 0 1; do
     echo "== tier1: cargo test --features obs (BASM_OBS=$obs) =="
     BASM_OBS=$obs cargo test -q --workspace --features obs
@@ -74,5 +90,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
 
 echo "== tier1: cargo test --doc =="
 cargo test -q --doc --workspace
+
+echo "== tier1: docs gate (link check) =="
+bash scripts/check_docs.sh
 
 echo "== tier1: OK =="
