@@ -192,29 +192,79 @@ pub fn load_model_file(
 const DENSE_FILE: &str = "dense.ckpt";
 /// Name of the embedding pack directory inside a checkpoint directory.
 const EMB_DIR: &str = "emb";
+/// Pointer file naming the committed version subdirectory (`v<k>`).
+const CURRENT_FILE: &str = "CURRENT";
+
+/// The version subdirectory `CURRENT` points at, if the pointer exists and
+/// is well-formed (`v<k>`). `None` means a legacy flat-layout checkpoint (or
+/// an empty directory).
+fn current_version(dir: &std::path::Path) -> Option<u64> {
+    let text = std::fs::read_to_string(dir.join(CURRENT_FILE)).ok()?;
+    text.trim().strip_prefix('v')?.parse().ok()
+}
 
 /// Save a model as a **checkpoint directory**: dense parameters + BN stats in
 /// a sealed `dense.ckpt`, and every embedding table as a pack directory under
 /// `emb/` (shards + fan-out index + manifest, all written atomically). Unlike
 /// [`save_model_file`], the embedding rows are not funneled through one flat
 /// buffer, and [`load_model_dir`] can reopen them zero-copy.
+///
+/// Crash consistency (DESIGN.md §13): each save lands in a fresh version
+/// subdirectory `v<k>/` and commits by atomically rewriting the `CURRENT`
+/// pointer file. The multi-file window (pack shards, manifest, dense
+/// envelope) therefore only ever touches an uncommitted directory — a crash
+/// at any IO op leaves `CURRENT` naming the previous complete checkpoint.
+/// Superseded versions (and any pre-versioning flat layout) are swept
+/// best-effort after the commit. A consequence of the always-fresh target:
+/// `export_pack_dir` never takes its in-place compaction branch here, so a
+/// pack-backed store's scratch directory is never the checkpoint.
 pub fn save_model_dir(
     model: &mut dyn CtrModel,
     dir: impl AsRef<std::path::Path>,
 ) -> std::io::Result<()> {
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?;
+    let version = current_version(dir).map_or(1, |v| v + 1);
+    let vname = format!("v{version}");
+    let vdir = dir.join(&vname);
+    std::fs::create_dir_all(&vdir)?;
     model
         .embedder()
         .emb
-        .export_pack_dir(&dir.join(EMB_DIR))
+        .export_pack_dir(&vdir.join(EMB_DIR))
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e.to_string()))?;
     // Dense envelope with an embedding count of zero: tables live in emb/.
     let buf = begin_checkpoint(model.params());
     let mut payload = buf.freeze().to_vec();
     payload.extend_from_slice(&0u32.to_le_bytes());
     append_bn_section(&mut payload, model);
-    basm_tensor::packstore::atomic_write(dir.join(DENSE_FILE), &seal(payload))
+    basm_tensor::packstore::atomic_write(vdir.join(DENSE_FILE), &seal(payload))?;
+    // Commit point: the pointer flip is the only write readers depend on.
+    basm_tensor::packstore::atomic_write(dir.join(CURRENT_FILE), format!("{vname}\n").as_bytes())?;
+    sweep_stale_versions(dir, version);
+    Ok(())
+}
+
+/// Remove superseded version subdirectories and any legacy flat-layout
+/// files after a successful commit. Best-effort through the crash shim: a
+/// kill mid-sweep leaves stale directories `CURRENT` never reads, retired
+/// by the next save.
+fn sweep_stale_versions(dir: &std::path::Path, keep: u64) {
+    use basm_tensor::packstore::crash;
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let fname = entry.file_name();
+        let Some(fname) = fname.to_str() else { continue };
+        if fname == DENSE_FILE {
+            let _ = crash::remove_file(&entry.path());
+        } else if fname == EMB_DIR {
+            let _ = crash::remove_dir_all(&entry.path());
+        } else if let Some(v) = fname.strip_prefix('v') {
+            if v.parse::<u64>().is_ok_and(|v| v != keep) {
+                let _ = crash::remove_dir_all(&entry.path());
+            }
+        }
+    }
 }
 
 /// Warm-start a model from a checkpoint directory written by
@@ -222,11 +272,20 @@ pub fn save_model_dir(
 /// sealed envelope, and the embedding store attaches to the pack directory —
 /// shards are opened via mmap and **no embedding record is deserialized**.
 /// The store is pack-backed afterwards regardless of `BASM_EMB_STORE`.
+///
+/// Reads the version `CURRENT` points at; a directory without a `CURRENT`
+/// pointer is treated as the pre-versioning flat layout (`dense.ckpt` +
+/// `emb/` at the top level), so old checkpoints keep loading.
 pub fn load_model_dir(
     model: &mut dyn CtrModel,
     dir: impl AsRef<std::path::Path>,
 ) -> std::io::Result<()> {
     let dir = dir.as_ref();
+    let dir = match current_version(dir) {
+        Some(v) => dir.join(format!("v{v}")),
+        None => dir.to_path_buf(),
+    };
+    let dir = dir.as_path();
     let to_io =
         |e: String| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
     let bytes = std::fs::read(dir.join(DENSE_FILE))?;
@@ -319,6 +378,103 @@ mod tests {
         let got: Vec<u32> = predict(&mut fresh, &batch).iter().map(|p| p.to_bits()).collect();
         assert_eq!(got, expected);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn versioned_saves_rotate_and_sweep() {
+        let cfg = WorldConfig::tiny();
+        let mut model = Basm::new(&cfg, BasmConfig::default());
+        let dir = std::env::temp_dir().join(format!("basm_ckpt_rot_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        save_model_dir(&mut model, &dir).unwrap();
+        assert_eq!(current_version(&dir), Some(1));
+        save_model_dir(&mut model, &dir).unwrap();
+        assert_eq!(current_version(&dir), Some(2));
+        assert!(!dir.join("v1").exists(), "superseded version must be swept");
+        assert!(dir.join("v2").join(DENSE_FILE).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_flat_checkpoint_dir_still_loads() {
+        let cfg = WorldConfig::tiny();
+        let data = generate_dataset(&cfg);
+        let batch = data.dataset.batch(&[0, 1, 2, 3]);
+        let mut model = Basm::new(&cfg, BasmConfig::default());
+        let mut opt = AdagradDecay::paper_default();
+        train_step(&mut model, &batch, &mut opt, 0.05, None);
+        let expected: Vec<u32> = predict(&mut model, &batch).iter().map(|p| p.to_bits()).collect();
+
+        // Rewrite a versioned checkpoint into the pre-versioning flat layout
+        // (dense.ckpt + emb/ at the top level, no CURRENT pointer).
+        let dir = std::env::temp_dir().join(format!("basm_ckpt_legacy_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        save_model_dir(&mut model, &dir).unwrap();
+        std::fs::rename(dir.join("v1").join(DENSE_FILE), dir.join(DENSE_FILE)).unwrap();
+        std::fs::rename(dir.join("v1").join(EMB_DIR), dir.join(EMB_DIR)).unwrap();
+        std::fs::remove_file(dir.join(CURRENT_FILE)).unwrap();
+        std::fs::remove_dir_all(dir.join("v1")).unwrap();
+
+        let mut fresh = Basm::new(&cfg, BasmConfig { seed: 77, ..BasmConfig::default() });
+        load_model_dir(&mut fresh, &dir).expect("flat layout must keep loading");
+        let got: Vec<u32> = predict(&mut fresh, &batch).iter().map(|p| p.to_bits()).collect();
+        assert_eq!(got, expected);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_model_dir_crash_sweep_yields_old_or_new() {
+        use basm_tensor::packstore::{crash, set_crash_plan, CrashPlan};
+        let cfg = WorldConfig::tiny();
+        let data = generate_dataset(&cfg);
+        let batch = data.dataset.batch(&(0..8).collect::<Vec<_>>());
+
+        // "Old" = one training step, "new" = three: distinguishable bits.
+        let mut old_model = Basm::new(&cfg, BasmConfig::default());
+        let mut opt = AdagradDecay::paper_default();
+        train_step(&mut old_model, &batch, &mut opt, 0.05, None);
+        let mut new_model = Basm::new(&cfg, BasmConfig::default());
+        let mut opt2 = AdagradDecay::paper_default();
+        for _ in 0..3 {
+            train_step(&mut new_model, &batch, &mut opt2, 0.05, None);
+        }
+        let preds_old: Vec<u32> =
+            predict(&mut old_model, &batch).iter().map(|p| p.to_bits()).collect();
+        let preds_new: Vec<u32> =
+            predict(&mut new_model, &batch).iter().map(|p| p.to_bits()).collect();
+        assert_ne!(preds_old, preds_new, "sweep needs distinguishable states");
+
+        let loaded_preds = |dir: &std::path::Path| -> Vec<u32> {
+            let mut m = Basm::new(&cfg, BasmConfig { seed: 5, ..BasmConfig::default() });
+            load_model_dir(&mut m, dir).expect("load after simulated crash");
+            predict(&mut m, &batch).iter().map(|p| p.to_bits()).collect()
+        };
+
+        // Dry run over an existing checkpoint measures the sweep domain.
+        let base = std::env::temp_dir().join(format!("basm_ckpt_sweep_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let dry = base.join("dry");
+        save_model_dir(&mut old_model, &dry).unwrap();
+        set_crash_plan(None);
+        save_model_dir(&mut new_model, &dry).unwrap();
+        let n_ops = crash::ops_executed();
+        assert!(n_ops > 5, "save_model_dir should span many guarded IO ops");
+        assert_eq!(loaded_preds(&dry), preds_new);
+
+        for kill_at in 0..n_ops {
+            let dir = base.join(format!("k{kill_at}"));
+            save_model_dir(&mut old_model, &dir).unwrap();
+            set_crash_plan(Some(CrashPlan { kill_at_op: kill_at, tear_bytes: 9 }));
+            let res = save_model_dir(&mut new_model, &dir);
+            assert!(crash::crash_fired(), "kill_at={kill_at} did not fire ({res:?})");
+            set_crash_plan(None);
+            let got = loaded_preds(&dir);
+            assert!(
+                got == preds_old || got == preds_new,
+                "kill_at={kill_at}: checkpoint loaded to a third state"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

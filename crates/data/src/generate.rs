@@ -19,7 +19,7 @@ use std::collections::VecDeque;
 type Event = BehaviorEvent;
 
 /// One behavior event in a user's history.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BehaviorEvent {
     /// Clicked item index.
     pub item: u32,

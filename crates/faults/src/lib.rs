@@ -48,10 +48,23 @@
 //! assert!(matches!(clean.feature_fetch(), FeatureFault::Ok));
 //! ```
 
+//! ## Kill-point injection (`BASM_CRASH`)
+//!
+//! Crash faults are the other half of the story: a deterministic IO shim
+//! kills the process at IO op `k`, tearing its last write at byte `b`
+//! (`BASM_CRASH=kill_at=K[,tear=B]`). The shim lives next to the durable
+//! write primitives it guards (`basm_tensor::packstore::crash`, because the
+//! pack store sits *below* this crate in the dependency order) and is
+//! re-exported here as [`crash`]/[`CrashPlan`] so fault tooling has one
+//! import surface. See DESIGN.md §13 for the crash model.
+
 mod clock;
 mod inject;
 mod profile;
 
+/// Kill-point injection shim (re-export of `basm_tensor::packstore::crash`).
+pub use basm_tensor::packstore::crash;
+pub use basm_tensor::packstore::{set_crash_plan, CrashPlan};
 pub use clock::SimClock;
 pub use inject::{FaultInjector, FeatureFault, RecallFault, ScoreFault};
 pub use profile::FaultProfile;

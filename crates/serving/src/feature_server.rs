@@ -15,8 +15,20 @@
 //! last-known state, counting each recovery under the
 //! `serving.lock_recovered` telemetry counter (DESIGN.md §8).
 
+//!
+//! ## Journaling (DESIGN.md §13)
+//!
+//! With a [`Journal`] attached, every state-changing write appends a WAL
+//! record **under the write lock, before the in-memory mutation** —
+//! write-ahead in the literal sense. Replaying the journal into a fresh
+//! server of the same geometry therefore rebuilds this one bitwise
+//! (pinned by `tests/crash_recovery.rs`). Journaling never changes the
+//! state a write produces, only its durability.
+
+use crate::journal::{Journal, WalRecord, WalSnapshot};
 use basm_data::{BehaviorEvent, StatCounters};
 use std::collections::VecDeque;
+use std::io;
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 struct State {
@@ -39,6 +51,10 @@ struct State {
 pub struct FeatureServer {
     state: RwLock<State>,
     max_history: usize,
+    /// Optional write-ahead log. Appends happen while the state write guard
+    /// is held, so the journal's record order is exactly the state's write
+    /// order without a second lock level.
+    journal: Option<Journal>,
 }
 
 impl FeatureServer {
@@ -69,17 +85,36 @@ impl FeatureServer {
                 clicks_version: 0,
             }),
             max_history,
+            journal: None,
+        }
+    }
+
+    /// Append `rec` to the attached journal, if any. Called with the state
+    /// write guard held, before the matching mutation. Injected crashes
+    /// panic (simulated process death); real IO errors are counted and
+    /// tolerated (see `journal::absorb_append_error`).
+    fn journal_append(&self, rec: &WalRecord) {
+        if let Some(j) = &self.journal {
+            if let Err(e) = j.append(rec) {
+                crate::journal::absorb_append_error(e);
+            }
         }
     }
 
     /// Seed a user's history (e.g. from the offline log's warm state).
     pub fn seed_history(&self, uid: usize, events: impl IntoIterator<Item = BehaviorEvent>) {
+        let events: Vec<BehaviorEvent> = events.into_iter().collect();
         let mut s = self.write_state();
+        self.journal_append(&WalRecord::Seed { uid: uid as u32, events: events.clone() });
+        Self::apply_seed(&mut s, self.max_history, uid, &events);
+    }
+
+    fn apply_seed(s: &mut State, max_history: usize, uid: usize, events: &[BehaviorEvent]) {
         s.history_version[uid] += 1;
         let h = &mut s.history[uid];
-        for ev in events {
+        for &ev in events {
             h.push_back(ev);
-            while h.len() > self.max_history {
+            while h.len() > max_history {
                 h.pop_front();
             }
         }
@@ -130,12 +165,38 @@ impl FeatureServer {
 
     /// Ingest an exposure event.
     pub fn record_exposure(&self, iid: u32) {
-        self.write_state().counters.item_exposures[iid as usize] += 1;
+        let mut s = self.write_state();
+        self.journal_append(&WalRecord::Exposures { lists: vec![vec![iid]] });
+        s.counters.item_exposures[iid as usize] += 1;
+    }
+
+    /// Ingest a microbatch of exposure write-backs as **one atomic journal
+    /// record** (one inner list per request, admission order). Counter-wise
+    /// this is exactly `record_exposure` per item; the batching exists so a
+    /// crash can never leave half a microbatch's exposures durable — the
+    /// supervised front-end's exactly-once unit (DESIGN.md §13).
+    pub fn record_exposures(&self, lists: &[Vec<u32>]) {
+        let mut s = self.write_state();
+        self.journal_append(&WalRecord::Exposures { lists: lists.to_vec() });
+        Self::apply_exposures(&mut s, lists);
+    }
+
+    fn apply_exposures(s: &mut State, lists: &[Vec<u32>]) {
+        for l in lists {
+            for &iid in l {
+                s.counters.item_exposures[iid as usize] += 1;
+            }
+        }
     }
 
     /// Ingest a click event: updates counters and the behavior sequence.
     pub fn record_click(&self, uid: usize, event: BehaviorEvent, ordered: bool) {
         let mut s = self.write_state();
+        self.journal_append(&WalRecord::Click { uid: uid as u32, ordered, event });
+        Self::apply_click(&mut s, self.max_history, uid, event, ordered);
+    }
+
+    fn apply_click(s: &mut State, max_history: usize, uid: usize, event: BehaviorEvent, ordered: bool) {
         s.history_version[uid] += 1;
         s.clicks_version += 1;
         s.counters.user_clicks[uid] += 1;
@@ -143,12 +204,121 @@ impl FeatureServer {
         if ordered {
             s.counters.user_orders[uid] += 1;
         }
-        let max = self.max_history;
         let h = &mut s.history[uid];
         h.push_back(event);
-        while h.len() > max {
+        while h.len() > max_history {
             h.pop_front();
         }
+    }
+
+    /// Snapshot the full state as a WAL record payload (one read guard, so
+    /// the snapshot is internally consistent).
+    fn snapshot_state(&self) -> WalSnapshot {
+        let s = self.read_state();
+        WalSnapshot {
+            clicks_version: s.clicks_version,
+            history_version: s.history_version.clone(),
+            history: s.history.iter().map(|h| h.iter().copied().collect()).collect(),
+            user_clicks: s.counters.user_clicks.clone(),
+            user_orders: s.counters.user_orders.clone(),
+            item_clicks: s.counters.item_clicks.clone(),
+            item_exposures: s.counters.item_exposures.clone(),
+        }
+    }
+
+    /// Whether any write has ever landed (exposures included — they mutate
+    /// counters without bumping a version).
+    fn has_state(&self) -> bool {
+        let s = self.read_state();
+        s.clicks_version != 0
+            || s.history_version.iter().any(|&v| v != 0)
+            || s.counters.item_exposures.iter().any(|&v| v != 0)
+    }
+
+    /// Attach a journal, making every subsequent write durable. If the
+    /// server already holds state, a [`WalRecord::Snapshot`] baseline is
+    /// written first so replay never needs history from before the journal
+    /// existed. Requires `&mut self`: attachment is a lifecycle operation,
+    /// not a serving-path one.
+    pub fn attach_journal(&mut self, journal: Journal) -> io::Result<()> {
+        if self.has_state() {
+            journal.append(&WalRecord::Snapshot(Box::new(self.snapshot_state())))?;
+        }
+        self.journal = Some(journal);
+        Ok(())
+    }
+
+    /// Attach a journal **without** writing a baseline snapshot — the
+    /// recovery path, where the journal's content already equals the state.
+    pub(crate) fn install_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
+    }
+
+    /// Detach and return the journal (e.g. to seal it at clean shutdown).
+    pub fn detach_journal(&mut self) -> Option<Journal> {
+        self.journal.take()
+    }
+
+    /// Whether a journal is currently attached.
+    pub fn journaling(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Apply recovered WAL records in order, **without** journaling them
+    /// (they are already durable). Geometry mismatches — a journal from a
+    /// different world — fail loud rather than corrupt state.
+    pub fn replay_records(&self, records: &[WalRecord]) -> io::Result<()> {
+        let mut s = self.write_state();
+        let bad = |what: &str| io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("wal replay: {what} does not fit this server's geometry"),
+        );
+        for rec in records {
+            match rec {
+                WalRecord::Click { uid, ordered, event } => {
+                    let uid = *uid as usize;
+                    if uid >= s.history.len()
+                        || event.item as usize >= s.counters.item_clicks.len()
+                    {
+                        return Err(bad("click record"));
+                    }
+                    Self::apply_click(&mut s, self.max_history, uid, *event, *ordered);
+                }
+                WalRecord::Exposures { lists } => {
+                    if lists
+                        .iter()
+                        .flatten()
+                        .any(|&iid| iid as usize >= s.counters.item_exposures.len())
+                    {
+                        return Err(bad("exposure record"));
+                    }
+                    Self::apply_exposures(&mut s, lists);
+                }
+                WalRecord::Seed { uid, events } => {
+                    let uid = *uid as usize;
+                    if uid >= s.history.len() {
+                        return Err(bad("seed record"));
+                    }
+                    Self::apply_seed(&mut s, self.max_history, uid, events);
+                }
+                WalRecord::Snapshot(snap) => {
+                    if snap.history.len() != s.history.len()
+                        || snap.item_clicks.len() != s.counters.item_clicks.len()
+                    {
+                        return Err(bad("snapshot record"));
+                    }
+                    s.clicks_version = snap.clicks_version;
+                    s.history_version = snap.history_version.clone();
+                    s.history = snap.history.iter().map(|h| h.iter().copied().collect()).collect();
+                    s.counters.user_clicks = snap.user_clicks.clone();
+                    s.counters.user_orders = snap.user_orders.clone();
+                    s.counters.item_clicks = snap.item_clicks.clone();
+                    s.counters.item_exposures = snap.item_exposures.clone();
+                }
+                WalRecord::Seal { .. } => {}
+            }
+        }
+        Ok(())
     }
 }
 

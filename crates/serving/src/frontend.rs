@@ -202,56 +202,125 @@ struct Prep {
     shed: ShedReason,
 }
 
-/// Run an arrival schedule through the front-end. Single logical server:
-/// the microbatch in service blocks the queue, exactly like one RTP scoring
-/// replica. Telemetry: `serving.queue_wait_ns`, `serving.batch_size` and
-/// `serving.frontend.latency_ns` histograms; `serving.frontend.*` admission
-/// counters; the ladder's `serving.fallback.*` counters for degraded
-/// requests.
-pub fn run_load(
-    pipe: &mut ServingPipeline,
-    world: &World,
-    arrivals: &[Arrival],
-    cfg: &FrontendConfig,
-) -> LoadOutcome {
-    assert!(cfg.queue_capacity >= 1, "queue capacity must be at least 1");
-    assert!(cfg.max_batch >= 1, "microbatch bound must be at least 1");
-    let budget_ns = pipe.policy.budget_ns;
-    let memo_on = pipe.memo.enabled();
-    // Take the injector out for the run (like `serve_degraded`) so fault
-    // draws can interleave with mutable pipeline access.
-    #[cfg(feature = "faults")]
-    let mut injector = pipe.faults.take();
+/// One microbatch's rollback point: everything `step` mutates before the
+/// batch commits, snapshotted right after admission. On a panic mid-batch
+/// the supervisor restores this mark — the queue itself needs no restore
+/// because the batch is *peeked*, not popped, until commit.
+struct BatchMark {
+    completed_len: usize,
+    summary: LoadSummary,
+    now: u64,
+    take: usize,
+}
 
-    let mut queue: VecDeque<usize> = VecDeque::new();
-    let mut next = 0usize;
-    let mut now = 0u64;
-    let mut completed: Vec<CompletedRequest> = Vec::with_capacity(arrivals.len());
-    let mut summary = LoadSummary { offered: arrivals.len(), ..LoadSummary::default() };
+/// The front-end's loop state, factored out of [`run_load`] so the
+/// supervised runner can survive a panicking batch: admission queue, sim
+/// clock, completions and counters live *here* (the supervisor's side of
+/// the process boundary), while the pipeline being stepped is the
+/// disposable scoring replica.
+struct LoadEngine {
+    queue: VecDeque<usize>,
+    next: usize,
+    now: u64,
+    completed: Vec<CompletedRequest>,
+    summary: LoadSummary,
+    mark: Option<BatchMark>,
+    /// Total drained-request preps started, across restarts (test hook
+    /// domain for `kill_at_prep`).
+    preps_started: u64,
+    /// Panic when prep number `k` begins — the supervised tests' simulated
+    /// process death at an arbitrary request index. Disarmed on rollback, so
+    /// a recovered run never re-kills itself.
+    kill_at_prep: Option<u64>,
+}
 
-    while next < arrivals.len() || !queue.is_empty() {
-        if queue.is_empty() {
+impl LoadEngine {
+    fn new(offered: usize, kill_at_prep: Option<u64>) -> Self {
+        Self {
+            queue: VecDeque::new(),
+            next: 0,
+            now: 0,
+            completed: Vec::with_capacity(offered),
+            summary: LoadSummary { offered, ..LoadSummary::default() },
+            mark: None,
+            preps_started: 0,
+            kill_at_prep,
+        }
+    }
+
+    fn done(&self, arrivals: &[Arrival]) -> bool {
+        self.next >= arrivals.len() && self.queue.is_empty()
+    }
+
+    /// Restore the pre-batch mark after a panic mid-batch. The in-flight
+    /// requests are still queued (peek-don't-pop), so "re-enqueue in
+    /// admission order" is a no-op by construction; returns how many there
+    /// were. Also disarms the kill hook: the crash fired.
+    fn rollback(&mut self) -> usize {
+        self.kill_at_prep = None;
+        let Some(mark) = self.mark.take() else { return 0 };
+        self.completed.truncate(mark.completed_len);
+        self.summary = mark.summary;
+        self.now = mark.now;
+        mark.take
+    }
+
+    fn finish(mut self) -> LoadOutcome {
+        self.summary.completed = self.completed.len();
+        self.summary.sim_end_ns = self.now;
+        LoadOutcome { completed: self.completed, summary: self.summary }
+    }
+
+    /// Admit + serve one microbatch. The batch is peeked from the queue,
+    /// processed, and only *popped at the commit point* — after the batch's
+    /// single atomic exposure write-back — so a panic anywhere in between
+    /// leaves every in-flight request queued in admission order.
+    fn step(
+        &mut self,
+        pipe: &mut ServingPipeline,
+        world: &World,
+        arrivals: &[Arrival],
+        cfg: &FrontendConfig,
+    ) {
+        let budget_ns = pipe.policy.budget_ns;
+        let memo_on = pipe.memo.enabled();
+        // Take the injector out for the batch (like `serve_degraded`) so
+        // fault draws can interleave with mutable pipeline access.
+        #[cfg(feature = "faults")]
+        let mut injector = pipe.faults.take();
+
+        if self.queue.is_empty() {
             // Idle server: jump to the next arrival.
-            now = now.max(arrivals[next].t_ns);
+            self.now = self.now.max(arrivals[self.next].t_ns);
         }
         // Admission: everything that has arrived by `now` either queues or
-        // is shed at the door.
-        while next < arrivals.len() && arrivals[next].t_ns <= now {
-            if queue.len() < cfg.queue_capacity {
-                queue.push_back(next);
-                summary.admitted += 1;
+        // is shed at the door. Admission is never rolled back — an admitted
+        // request rides out a replica crash in the queue.
+        while self.next < arrivals.len() && arrivals[self.next].t_ns <= self.now {
+            if self.queue.len() < cfg.queue_capacity {
+                self.queue.push_back(self.next);
+                self.summary.admitted += 1;
                 basm_obs::counter_add("serving.frontend.admitted", 1);
             } else {
-                summary.shed_queue_full += 1;
+                self.summary.shed_queue_full += 1;
                 basm_obs::counter_add("serving.frontend.shed_queue_full", 1);
             }
-            next += 1;
+            self.next += 1;
         }
-        summary.max_queue_depth = summary.max_queue_depth.max(queue.len());
+        self.summary.max_queue_depth = self.summary.max_queue_depth.max(self.queue.len());
 
-        let take = queue.len().min(cfg.max_batch);
+        let take = self.queue.len().min(cfg.max_batch);
         debug_assert!(take >= 1, "the drain loop must always make progress");
-        let drained: Vec<usize> = queue.drain(..take).collect();
+        self.mark = Some(BatchMark {
+            completed_len: self.completed.len(),
+            summary: self.summary.clone(),
+            now: self.now,
+            take,
+        });
+        let drained: Vec<usize> = self.queue.iter().take(take).copied().collect();
+        let mut now = self.now;
+        let completed = &mut self.completed;
+        let summary = &mut self.summary;
         summary.batches += 1;
         basm_obs::record_hist("serving.batch_size", take as u64);
         // Snapshot input versions once per drained microbatch (DESIGN.md
@@ -266,6 +335,11 @@ pub fn run_load(
         let service_start = now;
         let mut preps: Vec<Prep> = Vec::with_capacity(take);
         for &ai in &drained {
+            let prep_idx = self.preps_started;
+            self.preps_started += 1;
+            if self.kill_at_prep == Some(prep_idx) {
+                panic!("injected crash at request prep {prep_idx}");
+            }
             let a = &arrivals[ai];
             let queue_wait_ns = service_start - a.t_ns;
             basm_obs::record_hist("serving.queue_wait_ns", queue_wait_ns);
@@ -490,13 +564,32 @@ pub fn run_load(
             }
         }
 
-        // --- phase 3: rank, record exposures, complete — in admission
-        // order, so the feature state evolves identically in both modes.
+        // --- phase 3: rank (pure), then commit the whole microbatch — in
+        // admission order, so the feature state evolves identically in both
+        // modes. Ranking never reads the exposure counters and counter
+        // updates are pure increments, so batching the write-back is bitwise
+        // equivalent to the per-request `rank_and_expose` loop.
         let t_done = now;
-        for (p, s) in preps.into_iter().zip(scores) {
+        let batch: Vec<(Prep, Vec<Exposure>)> = preps
+            .into_iter()
+            .zip(scores)
+            .map(|(mut p, s)| {
+                let candidates = std::mem::take(&mut p.candidates);
+                let exposures = pipe.rank_only(s, candidates);
+                (p, exposures)
+            })
+            .collect();
+        let lists: Vec<Vec<u32>> =
+            batch.iter().map(|(_, e)| e.iter().map(|x| x.item).collect()).collect();
+        // The commit point: one atomic journal record for the microbatch's
+        // exposures (a crash before this line leaves the batch un-logged and
+        // still queued; after it, replay rebuilds the counters exactly).
+        pipe.commit_exposures(&lists);
+        self.queue.drain(..take);
+        self.mark = None;
+        for (p, exposures) in batch {
             let latency_ns = t_done - arrivals[p.arrival].t_ns;
             basm_obs::record_hist("serving.frontend.latency_ns", latency_ns);
-            let exposures = pipe.rank_and_expose(s, p.candidates);
             completed.push(CompletedRequest {
                 arrival: p.arrival,
                 uid: p.uid,
@@ -506,15 +599,149 @@ pub fn run_load(
                 exposures,
             });
         }
-    }
 
-    #[cfg(feature = "faults")]
-    {
-        pipe.faults = injector;
+        #[cfg(feature = "faults")]
+        {
+            pipe.faults = injector;
+        }
+        self.now = now;
     }
-    summary.completed = completed.len();
-    summary.sim_end_ns = now;
-    LoadOutcome { completed, summary }
+}
+
+/// Run an arrival schedule through the front-end. Single logical server:
+/// the microbatch in service blocks the queue, exactly like one RTP scoring
+/// replica. Telemetry: `serving.queue_wait_ns`, `serving.batch_size` and
+/// `serving.frontend.latency_ns` histograms; `serving.frontend.*` admission
+/// counters; the ladder's `serving.fallback.*` counters for degraded
+/// requests.
+pub fn run_load(
+    pipe: &mut ServingPipeline,
+    world: &World,
+    arrivals: &[Arrival],
+    cfg: &FrontendConfig,
+) -> LoadOutcome {
+    assert!(cfg.queue_capacity >= 1, "queue capacity must be at least 1");
+    assert!(cfg.max_batch >= 1, "microbatch bound must be at least 1");
+    let mut engine = LoadEngine::new(arrivals.len(), None);
+    while !engine.done(arrivals) {
+        engine.step(pipe, world, arrivals, cfg);
+    }
+    engine.finish()
+}
+
+/// Shape of the supervised runner (DESIGN.md §13).
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// The online-state WAL backing the scoring replica. Recovered (and
+    /// replayed) at start and after every restart; appended to by every
+    /// feature-server write in between.
+    pub wal_path: std::path::PathBuf,
+    /// Restarts tolerated before the supervisor gives up and re-raises the
+    /// replica's panic.
+    pub max_restarts: u32,
+    /// Test hook: panic when drained-request prep number `k` begins — a
+    /// simulated process death at an arbitrary request index. Fires once;
+    /// recovery disarms it.
+    pub kill_at_prep: Option<u64>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            wal_path: crate::journal::fresh_wal_path(),
+            max_restarts: 8,
+            kill_at_prep: None,
+        }
+    }
+}
+
+/// What the supervisor did across the run.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
+pub struct RecoveryStats {
+    /// Replica rebuilds after a panic.
+    pub restarts: u64,
+    /// WAL records replayed across all rebuilds (initial recovery included).
+    pub replayed_records: u64,
+    /// In-flight requests re-enqueued (in admission order) across restarts.
+    pub reenqueued: u64,
+}
+
+/// A supervised load run's results.
+pub struct SupervisedOutcome {
+    /// The load outcome — bitwise identical to an uninterrupted [`run_load`]
+    /// over the same schedule, however many times the replica died.
+    pub load: LoadOutcome,
+    /// Recovery counters (also exported as `serving.recovery.*`).
+    pub recovery: RecoveryStats,
+}
+
+/// Run an arrival schedule through a **supervised** scoring replica:
+/// `build` constructs the replica (typically loading model weights from a
+/// checkpoint dir — weights never change during serving, so the checkpoint
+/// is the model's recovery point), the WAL at `sup.wal_path` carries the
+/// online feature state, and a panic anywhere in a batch — including a
+/// `BASM_CRASH`-injected death inside a WAL append — triggers the restart
+/// path: rebuild the replica, replay the WAL into a fresh feature server,
+/// reset the memo tier (a hit is bitwise the cold path, so cold restart is
+/// safe), re-enqueue the in-flight microbatch in admission order, and
+/// continue on the *same* simulated clock.
+///
+/// Determinism: the sim clock does not advance during recovery, per-request
+/// rngs are schedule-seeded, and the killed batch never committed its
+/// exposure record — so the completed stream is **bitwise equal to the run
+/// that never crashed** (pinned by `tests/crash_recovery.rs`). The one
+/// exception is a fault injector: a rebuilt replica restarts its fault
+/// schedule, exactly as a real restarted process would.
+pub fn run_load_supervised(
+    world: &World,
+    arrivals: &[Arrival],
+    cfg: &FrontendConfig,
+    sup: &SupervisorConfig,
+    build: impl Fn() -> ServingPipeline,
+) -> std::io::Result<SupervisedOutcome> {
+    assert!(cfg.queue_capacity >= 1, "queue capacity must be at least 1");
+    assert!(cfg.max_batch >= 1, "microbatch bound must be at least 1");
+
+    // Recover the WAL into a (re)built replica: replay whatever is durable,
+    // then attach the journal for the writes to come. Replaces any
+    // `BASM_WAL=1` auto-attached temp journal — the supervisor's WAL is the
+    // replica's durability story.
+    let attach = |pipe: &mut ServingPipeline| -> std::io::Result<u64> {
+        let _ = pipe.features.detach_journal();
+        let (journal, records, _stats) = crate::journal::Journal::recover(&sup.wal_path)?;
+        pipe.features.replay_records(&records)?;
+        pipe.features.install_journal(journal);
+        Ok(records.len() as u64)
+    };
+
+    let mut recovery = RecoveryStats::default();
+    let mut pipe = build();
+    recovery.replayed_records += attach(&mut pipe)?;
+    let mut engine = LoadEngine::new(arrivals.len(), sup.kill_at_prep);
+    while !engine.done(arrivals) {
+        let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.step(&mut pipe, world, arrivals, cfg)
+        }));
+        let Err(cause) = step else { continue };
+        recovery.restarts += 1;
+        basm_obs::counter_add("serving.recovery.restarts", 1);
+        if recovery.restarts > u64::from(sup.max_restarts) {
+            std::panic::resume_unwind(cause);
+        }
+        // The replica process "died": an armed kill plan died with it — the
+        // supervisor is the surviving side of the process boundary.
+        basm_tensor::packstore::set_crash_plan(None);
+        let reenqueued = engine.rollback() as u64;
+        recovery.reenqueued += reenqueued;
+        basm_obs::counter_add("serving.recovery.reenqueued", reenqueued);
+        drop(pipe);
+        pipe = build();
+        let replayed = attach(&mut pipe)?;
+        recovery.replayed_records += replayed;
+        basm_obs::counter_add("serving.recovery.replayed_records", replayed);
+        pipe.reset_memo();
+    }
+    Ok(SupervisedOutcome { load: engine.finish(), recovery })
 }
 
 /// Nearest-rank percentile over raw nanosecond samples (the exact

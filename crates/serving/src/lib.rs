@@ -35,6 +35,15 @@
 //! `BASM_MEMO=0|1` is pinned bitwise-equal in tier1.sh; `serving.memo.*`
 //! counters expose hit/miss/invalidate/evict traffic.
 //!
+//! Online state is crash-consistent (DESIGN.md §13): with `BASM_WAL=1` (or
+//! an explicitly attached [`Journal`]) every feature-server write lands in a
+//! CRC'd write-ahead log *before* the in-memory mutation, and
+//! [`run_load_supervised`] wraps the scoring replica in a supervisor that —
+//! after a simulated process death — rebuilds the pipeline, replays the WAL,
+//! re-enqueues the in-flight microbatch, and continues **bitwise-equal to
+//! the run that never crashed**. As with every other `BASM_*` knob,
+//! `BASM_WAL` changes durability and wall-clock only, never computed bits.
+//!
 //! ```
 //! use basm_data::{World, WorldConfig};
 //! use basm_serving::{Request, ServingPipeline};
@@ -54,6 +63,7 @@ pub mod ab_test;
 pub mod arrivals;
 pub mod feature_server;
 pub mod frontend;
+pub mod journal;
 pub mod memo;
 pub mod pipeline;
 pub mod recall;
@@ -64,9 +74,10 @@ pub use ab_test::{run_ab_test, AbConfig, AbResult, DayResult, SegmentBreakdown, 
 pub use arrivals::{generate_arrivals, Arrival, ArrivalConfig};
 pub use feature_server::FeatureServer;
 pub use frontend::{
-    percentile_ns, run_load, CompletedRequest, CostModel, FrontendConfig, LoadOutcome,
-    LoadSummary, ShedReason,
+    percentile_ns, run_load, run_load_supervised, CompletedRequest, CostModel, FrontendConfig,
+    LoadOutcome, LoadSummary, RecoveryStats, ShedReason, SupervisedOutcome, SupervisorConfig,
 };
+pub use journal::{fresh_wal_path, Journal, WalRecord, WalSnapshot, WalStats};
 pub use memo::{MemoCache, MemoConfig, MemoStats};
 pub use pipeline::{DeadlinePolicy, Exposure, Request, ServeError, ServingPipeline};
 pub use recall::LbsRecall;

@@ -222,6 +222,13 @@ impl MemoCache {
         self.config.enabled
     }
 
+    /// The tier's configuration (supervised restart rebuilds an empty cache
+    /// of the same shape — safe because a memo hit is bitwise the cold
+    /// path's product, so starting cold never changes computed bits).
+    pub fn config(&self) -> MemoConfig {
+        self.config
+    }
+
     /// Lifetime counters (always on, independent of the obs feature).
     pub fn stats(&self) -> MemoStats {
         self.stats

@@ -204,13 +204,23 @@ impl ServingPipeline {
     /// automatically when `BASM_FAULTS` selects a nonzero profile (see
     /// `basm_faults`); use `ServingPipeline::set_faults` to override.
     pub fn new(world: &World, model: Box<dyn CtrModel>, pool: usize, top_k: usize) -> Self {
+        let mut features = FeatureServer::new(
+            world.config.n_users,
+            world.config.n_items,
+            4 * world.config.seq_len,
+        );
+        // BASM_WAL=1: journal online state to an owned temp file (removed on
+        // drop) so the env sweep exercises the WAL code path end to end.
+        // Durability-only — journaling never changes computed bits.
+        if crate::journal::wal_env_enabled() {
+            if let Ok(j) = crate::journal::Journal::create(crate::journal::fresh_wal_path()) {
+                j.mark_owned();
+                let _ = features.attach_journal(j);
+            }
+        }
         Self {
             model,
-            features: FeatureServer::new(
-                world.config.n_users,
-                world.config.n_items,
-                4 * world.config.seq_len,
-            ),
+            features,
             recall: LbsRecall::build(world),
             top_k,
             pool,
@@ -237,6 +247,13 @@ impl ServingPipeline {
     /// The memo tier's lifetime counters (DESIGN.md §12).
     pub fn memo_stats(&self) -> MemoStats {
         self.memo.stats()
+    }
+
+    /// Drop every cached memo product, keeping the tier's shape. The
+    /// supervised restart path calls this on a rebuilt replica: a hit is
+    /// bitwise the cold path's product, so an empty cache is always safe.
+    pub fn reset_memo(&mut self) {
+        self.memo = MemoCache::new(self.memo.config());
     }
 
     /// Live memo entries across all product caches.
@@ -636,14 +653,31 @@ impl ServingPipeline {
     /// Rank by score (non-finite scores sink — see [`rank_top_k`]), take the
     /// top-k, record the exposures.
     pub(crate) fn rank_and_expose(&mut self, scores: Vec<f32>, candidates: Vec<u32>) -> Vec<Exposure> {
-        let (exposures, nonfinite) = rank_top_k(&scores, &candidates, self.top_k);
-        if nonfinite > 0 {
-            basm_obs::counter_add("serving.nonfinite_score", nonfinite as u64);
-        }
+        let exposures = self.rank_only(scores, candidates);
         for e in &exposures {
             self.features.record_exposure(e.item);
         }
         exposures
+    }
+
+    /// Rank without the exposure write-back — the batched front-end splits
+    /// ranking from commit so a whole microbatch's exposures land as **one**
+    /// atomic journal record ([`FeatureServer::record_exposures`]). Counter
+    /// updates are pure increments and ranking never reads them mid-batch,
+    /// so deferring the write-back to the batch boundary is bitwise
+    /// equivalent to the per-request path.
+    pub(crate) fn rank_only(&mut self, scores: Vec<f32>, candidates: Vec<u32>) -> Vec<Exposure> {
+        let (exposures, nonfinite) = rank_top_k(&scores, &candidates, self.top_k);
+        if nonfinite > 0 {
+            basm_obs::counter_add("serving.nonfinite_score", nonfinite as u64);
+        }
+        exposures
+    }
+
+    /// Commit a microbatch's exposure write-backs (one list per request, in
+    /// admission order) as a single atomic unit.
+    pub(crate) fn commit_exposures(&mut self, lists: &[Vec<u32>]) {
+        self.features.record_exposures(lists);
     }
 }
 

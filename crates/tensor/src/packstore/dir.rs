@@ -9,7 +9,7 @@ use super::format::{
 };
 use super::lru::{CacheStats, HotRowCache};
 use super::mapping::ShardData;
-use super::atomic_write;
+use super::{atomic_write, crash};
 use std::collections::{BTreeMap, HashMap};
 use std::io::Read;
 use std::path::{Path, PathBuf};
@@ -43,16 +43,98 @@ pub fn auto_shard_rows(rows: usize) -> usize {
     rows.div_ceil(FANOUT).max(1024)
 }
 
-fn shard_path(dir: &Path, name: &str, idx: usize) -> PathBuf {
-    dir.join(format!("{name}.{idx}.pack"))
+fn shard_path(dir: &Path, name: &str, idx: usize, epoch: u64) -> PathBuf {
+    if epoch == 0 {
+        dir.join(format!("{name}.{idx}.pack"))
+    } else {
+        dir.join(format!("{name}.{idx}.e{epoch}.pack"))
+    }
 }
 
 fn idx_path(dir: &Path, name: &str) -> PathBuf {
     dir.join(format!("{name}.idx"))
 }
 
-fn delta_path(dir: &Path, name: &str) -> PathBuf {
-    dir.join(format!("{name}.delta"))
+fn delta_path(dir: &Path, name: &str, epoch: u64) -> PathBuf {
+    if epoch == 0 {
+        dir.join(format!("{name}.delta"))
+    } else {
+        dir.join(format!("{name}.d{epoch}.delta"))
+    }
+}
+
+/// Whether `file_name` is a file this table owns: one of its shard, delta,
+/// or atomic-write temp names (exact-prefix matched so `user` never claims
+/// `user_wide`'s files; the index is excluded — it is the commit record).
+fn owned_by_table(name: &str, file_name: &str) -> bool {
+    if let Some(rest) = file_name.strip_prefix(&format!(".{name}.")) {
+        return rest.contains(".tmp-");
+    }
+    let Some(rest) = file_name.strip_prefix(name).and_then(|r| r.strip_prefix('.')) else {
+        return false;
+    };
+    if rest == "delta" {
+        return true;
+    }
+    if let Some(e) = rest.strip_prefix('d').and_then(|r| r.strip_suffix(".delta")) {
+        return !e.is_empty() && e.bytes().all(|b| b.is_ascii_digit());
+    }
+    let Some(body) = rest.strip_suffix(".pack") else { return false };
+    let (idx, epoch) = match body.split_once('.') {
+        None => (body, None),
+        Some((i, e)) => (i, Some(e)),
+    };
+    if idx.is_empty() || !idx.bytes().all(|b| b.is_ascii_digit()) {
+        return false;
+    }
+    match epoch {
+        None => true,
+        Some(e) => {
+            let Some(num) = e.strip_prefix('e') else { return false };
+            !num.is_empty() && num.bytes().all(|b| b.is_ascii_digit())
+        }
+    }
+}
+
+/// Sweep files the committed `index` no longer references: superseded-epoch
+/// shards and deltas, plus torn atomic-write temps. Runs **after** a
+/// successful index commit; best-effort (a crash mid-sweep just leaves
+/// stale files the index never reads, retired by the next sweep).
+fn clean_stale_files(dir: &Path, name: &str, index: &IndexFile) {
+    let mut keep: Vec<String> = index
+        .shards
+        .iter()
+        .enumerate()
+        .filter_map(|(s, m)| {
+            shard_path(dir, name, s, m.epoch).file_name()?.to_str().map(String::from)
+        })
+        .collect();
+    if let Some(d) = delta_path(dir, name, index.delta_epoch).file_name().and_then(|f| f.to_str())
+    {
+        keep.push(d.to_string());
+    }
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let fname = entry.file_name();
+        let Some(fname) = fname.to_str() else { continue };
+        if owned_by_table(name, fname) && !keep.iter().any(|k| k == fname) {
+            let _ = crash::remove_file(&entry.path());
+        }
+    }
+}
+
+/// The epoch a fresh base write should land on: one past the committed
+/// index's delta epoch, or 0 when no readable index exists (a fresh or dead
+/// table — nothing valid to preserve).
+fn next_epoch(dir: &Path, name: &str) -> u64 {
+    let ipath = idx_path(dir, name);
+    match std::fs::read(&ipath) {
+        Ok(bytes) => match IndexFile::decode(&bytes, &ipath.display().to_string()) {
+            Ok(idx) => idx.delta_epoch + 1,
+            Err(_) => 0,
+        },
+        Err(_) => 0,
+    }
 }
 
 fn shard_file_len(n_rows: u64, dim: usize) -> u64 {
@@ -97,9 +179,12 @@ fn record_payload(weights: &[f32], accum: &[f32], dim: usize, rows: std::ops::Ra
     payload
 }
 
-/// Write a table's base pack: shards + fan-out index, all atomically. Any
-/// existing delta file is removed (a fresh base supersedes it), as are stale
-/// shard files beyond the new shard count.
+/// Write a table's base pack: shards + fan-out index. Over an *existing*
+/// table the new shards land under the next epoch, so every old-epoch file
+/// stays intact until the index — the single commit point — is atomically
+/// replaced: a crash at any IO op leaves either the complete old table
+/// (base + its deltas) or the complete new one. After the commit, stale
+/// epochs, superseded deltas, and leftover layouts are swept best-effort.
 pub fn write_table(
     dir: &Path,
     name: &str,
@@ -113,6 +198,7 @@ pub fn write_table(
     assert_eq!(accum.len(), rows * dim, "write_table: accum size");
     assert!(rows > 0 && dim > 0, "write_table: empty table");
     std::fs::create_dir_all(dir).map_err(|e| PackError::io(dir, &e))?;
+    let epoch = next_epoch(dir, name);
     let shard_rows = if opts.shard_rows == 0 { auto_shard_rows(rows) } else { opts.shard_rows };
     let n_shards = rows.div_ceil(shard_rows);
     let mut metas = Vec::with_capacity(n_shards);
@@ -121,25 +207,23 @@ pub fn write_table(
         let end = (((s + 1) * shard_rows).min(rows)) as u64;
         let payload = record_payload(weights, accum, dim, start..end);
         let (bytes, crc) = encode_shard(name, s, start, end - start, dim, &payload);
-        let path = shard_path(dir, name, s);
+        let path = shard_path(dir, name, s, epoch);
         atomic_write(&path, &bytes).map_err(|e| PackError::io(&path, &e))?;
-        metas.push(ShardMeta { start_row: start, n_rows: end - start, payload_crc: crc });
+        metas.push(ShardMeta { start_row: start, n_rows: end - start, epoch, payload_crc: crc });
     }
     let index = IndexFile {
         rows: rows as u64,
         dim: dim as u32,
+        delta_epoch: epoch,
         fanout: IndexFile::build_fanout(rows as u64),
         shards: metas.clone(),
     };
     let ipath = idx_path(dir, name);
     atomic_write(&ipath, &index.encode()).map_err(|e| PackError::io(&ipath, &e))?;
-    let _ = std::fs::remove_file(delta_path(dir, name));
-    // Stale shards from a previous, larger layout must not linger: a future
-    // open length-checks only the shards the index names.
-    let mut stale = n_shards;
-    while std::fs::remove_file(shard_path(dir, name, stale)).is_ok() {
-        stale += 1;
-    }
+    // Committed. Anything the new index does not reference — the previous
+    // epoch's shards, its delta file, stale shards from a larger layout,
+    // torn temps — must not linger.
+    clean_stale_files(dir, name, &index);
     Ok(metas)
 }
 
@@ -238,6 +322,11 @@ pub struct PackTable {
     cache: HotRowCache,
     pending: BTreeMap<u32, Box<[f32]>>,
     cache_rows: usize,
+    /// Bytes of the delta file known to hold complete, durable chunks (set
+    /// by replay, advanced by successful flushes). A failed append leaves
+    /// the file longer than this; the next flush truncates back before
+    /// appending so garbage never ends up *mid*-file.
+    delta_valid_len: u64,
 }
 
 impl PackTable {
@@ -265,7 +354,7 @@ impl PackTable {
         let mut shards = Vec::with_capacity(index.shards.len());
         let mut shard_starts = Vec::with_capacity(index.shards.len());
         for (s, meta) in index.shards.iter().enumerate() {
-            let path = shard_path(dir, name, s);
+            let path = shard_path(dir, name, s, meta.epoch);
             let what = path.display().to_string();
             let want_len = shard_file_len(meta.n_rows, expect_dim);
             let got_len = std::fs::metadata(&path).map_err(|e| PackError::io(&path, &e))?.len();
@@ -306,6 +395,7 @@ impl PackTable {
             cache: HotRowCache::new(opts.cache_rows),
             pending: BTreeMap::new(),
             cache_rows: opts.cache_rows,
+            delta_valid_len: 0,
         };
         table.replay_deltas()?;
         Ok(table)
@@ -422,8 +512,18 @@ impl PackTable {
 
     // ---- deltas ------------------------------------------------------------
 
+    /// Replay the current-epoch delta file into the overlay.
+    ///
+    /// **Torn-tail tolerance**: an append is sequential, so a crash mid-
+    /// flush can only leave an *incomplete final chunk* — a header or body
+    /// shorter than declared. That tail is a crash artifact, not
+    /// corruption: it is dropped (counted under
+    /// `packstore.delta_torn_tail`) and the file is truncated back to its
+    /// last complete chunk so later appends continue from valid bytes. A
+    /// **complete** chunk whose CRC disagrees, or a mid-file magic
+    /// mismatch, can never result from a torn append and still fails loud.
     fn replay_deltas(&mut self) -> Result<(), PackError> {
-        let path = delta_path(&self.dir, &self.name);
+        let path = delta_path(&self.dir, &self.name, self.index.delta_epoch);
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
@@ -433,18 +533,22 @@ impl PackTable {
         let rec_bytes = record_bytes(self.dim);
         let mut at = 0usize;
         while at < bytes.len() {
-            let header = bytes
-                .get(at..at + 12)
-                .ok_or_else(|| PackError::TrailingBytes(what.clone()))?;
+            let Some(header) = bytes.get(at..at + 12) else {
+                // Incomplete final header: torn tail.
+                self.truncate_torn_delta(&path, at, bytes.len());
+                break;
+            };
             if &header[..4] != DELTA_CHUNK_MAGIC {
                 return Err(PackError::BadMagic(what));
             }
             let n = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
             let stored = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
             let body_len = n * (8 + rec_bytes);
-            let body = bytes
-                .get(at + 12..at + 12 + body_len)
-                .ok_or_else(|| PackError::TrailingBytes(what.clone()))?;
+            let Some(body) = bytes.get(at + 12..at + 12 + body_len) else {
+                // Incomplete final body: torn tail.
+                self.truncate_torn_delta(&path, at, bytes.len());
+                break;
+            };
             let actual = crc32(body);
             if stored != actual {
                 return Err(PackError::ChecksumMismatch { what, stored, actual });
@@ -462,21 +566,36 @@ impl PackTable {
             }
             at += 12 + body_len;
         }
+        self.delta_valid_len = at as u64;
         Ok(())
     }
 
-    /// Append buffered updates to the delta file as one CRC'd chunk. Returns
-    /// the number of records written (0 when nothing was pending). Durable
-    /// online training calls this at its checkpoint cadence; a crash after a
-    /// flush loses nothing because open replays the file.
+    /// Drop a torn delta tail: truncate the file back to `valid_len` so the
+    /// next append continues from complete chunks. Best-effort and
+    /// idempotent — a crash mid-truncate leaves a (shorter) torn tail the
+    /// next open handles identically.
+    fn truncate_torn_delta(&self, path: &Path, valid_len: usize, file_len: usize) {
+        basm_obs::counter_add("packstore.delta_torn_tail", 1);
+        basm_obs::counter_add("packstore.delta_torn_bytes", (file_len - valid_len) as u64);
+        if let Ok(f) = std::fs::OpenOptions::new().write(true).open(path) {
+            let _ = f.set_len(valid_len as u64);
+            let _ = f.sync_all();
+        }
+    }
+
+    /// Append buffered updates to the delta file as one CRC'd chunk, fsynced
+    /// before returning. Returns the number of records written (0 when
+    /// nothing was pending). Once this returns `Ok`, a crash loses nothing —
+    /// open replays the file. On error (including an injected kill) the
+    /// pending buffer is **retained** for retry, never dropped; the at-most
+    /// partially-appended chunk on disk is a torn tail the next open drops.
     pub fn flush_deltas(&mut self) -> std::io::Result<usize> {
         if self.pending.is_empty() {
             return Ok(0);
         }
-        let pending = std::mem::take(&mut self.pending);
         let rec_bytes = record_bytes(self.dim);
-        let mut body = Vec::with_capacity(pending.len() * (8 + rec_bytes));
-        for (row, rec) in &pending {
+        let mut body = Vec::with_capacity(self.pending.len() * (8 + rec_bytes));
+        for (row, rec) in &self.pending {
             body.extend_from_slice(&(*row as u64).to_le_bytes());
             for v in rec.iter() {
                 body.extend_from_slice(&v.to_le_bytes());
@@ -484,29 +603,46 @@ impl PackTable {
         }
         let mut chunk = Vec::with_capacity(12 + body.len());
         chunk.extend_from_slice(DELTA_CHUNK_MAGIC);
-        chunk.extend_from_slice(&(pending.len() as u32).to_le_bytes());
+        chunk.extend_from_slice(&(self.pending.len() as u32).to_le_bytes());
         chunk.extend_from_slice(&crc32(&body).to_le_bytes());
         chunk.extend_from_slice(&body);
-        use std::io::Write;
-        let mut f = std::fs::OpenOptions::new()
-            .append(true)
-            .create(true)
-            .open(delta_path(&self.dir, &self.name))?;
-        f.write_all(&chunk)?;
-        Ok(pending.len())
+        let path = delta_path(&self.dir, &self.name, self.index.delta_epoch);
+        // A previously failed append (transient IO error, or a survived
+        // injected kill in tests) leaves a torn tail; appending after it
+        // would bury garbage mid-file where replay must reject it. Repair
+        // first — idempotent, and a crash here just re-creates the torn
+        // tail the next open drops.
+        if let Ok(md) = std::fs::metadata(&path) {
+            if md.len() != self.delta_valid_len {
+                if let Ok(f) = std::fs::OpenOptions::new().write(true).open(&path) {
+                    let _ = f.set_len(self.delta_valid_len);
+                    let _ = f.sync_all();
+                }
+            }
+        }
+        crash::append_file(&path, &chunk)?;
+        // Only a durable append clears the buffer.
+        self.delta_valid_len += chunk.len() as u64;
+        let flushed = self.pending.len();
+        self.pending.clear();
+        Ok(flushed)
     }
 
-    /// Whether a delta file currently exists on disk.
+    /// Whether the current epoch's delta file exists on disk.
     pub fn has_delta_file(&self) -> bool {
-        delta_path(&self.dir, &self.name).exists()
+        delta_path(&self.dir, &self.name, self.index.delta_epoch).exists()
     }
 
     // ---- compaction --------------------------------------------------------
 
     /// Fold the overlay (and therefore every flushed or pending delta) back
-    /// into the base: dirty shards are rebuilt and atomically replaced, the
-    /// index is rewritten, the delta file is removed, and the overlay/cache
-    /// are cleared. Clean shards keep their files and mappings untouched.
+    /// into the base under the **next epoch**: dirty shards are rebuilt into
+    /// new-epoch files, then the index — the single commit point — is
+    /// atomically replaced with one naming the new shards and a new delta
+    /// epoch, and only then are the superseded files swept. A crash at any
+    /// IO op in the window leaves the old index pointing at untouched
+    /// old-epoch shards + the old delta file: reopen sees the exact
+    /// pre-compaction state. Clean shards keep their files and mappings.
     pub fn compact(&mut self) -> Result<(), PackError> {
         if self.overlay.is_empty() && !self.has_delta_file() {
             self.pending.clear();
@@ -514,6 +650,13 @@ impl PackTable {
         }
         let dim = self.dim;
         let nf = record_f32s(dim);
+        let epoch = self.index.delta_epoch + 1;
+        // Build the candidate state off to the side; `self` is not touched
+        // until the index commit succeeds, so an error (or injected kill)
+        // anywhere leaves this table — and the disk — on the old epoch.
+        let mut new_index = self.index.clone();
+        new_index.delta_epoch = epoch;
+        let mut new_data: Vec<(usize, ShardData)> = Vec::new();
         for s in 0..self.shards.len() {
             let (start, n_rows) = {
                 let m = &self.shards[s].meta;
@@ -540,21 +683,29 @@ impl PackTable {
                 }
             }
             let (bytes, crc) = encode_shard(&self.name, s, start, n_rows, dim, &payload);
-            let path = shard_path(&self.dir, &self.name, s);
+            let path = shard_path(&self.dir, &self.name, s, epoch);
             atomic_write(&path, &bytes).map_err(|e| PackError::io(&path, &e))?;
-            self.index.shards[s].payload_crc = crc;
-            self.shards[s].meta.payload_crc = crc;
-            // Reopen: the rename left the old mapping pointing at the old
-            // inode; swap in the new file's data.
-            self.shards[s].data =
-                ShardData::open(&path, SHARD_HEADER_LEN, n_rows as usize * record_bytes(dim))?;
+            new_index.shards[s].payload_crc = crc;
+            new_index.shards[s].epoch = epoch;
+            new_data.push((
+                s,
+                ShardData::open(&path, SHARD_HEADER_LEN, n_rows as usize * record_bytes(dim))?,
+            ));
         }
         let ipath = idx_path(&self.dir, &self.name);
-        atomic_write(&ipath, &self.index.encode()).map_err(|e| PackError::io(&ipath, &e))?;
-        let _ = std::fs::remove_file(delta_path(&self.dir, &self.name));
+        atomic_write(&ipath, &new_index.encode()).map_err(|e| PackError::io(&ipath, &e))?;
+        // Committed: adopt the new epoch in memory, then sweep what the new
+        // index no longer references (old-epoch shards, the retired delta).
+        for (s, data) in new_data {
+            self.shards[s].meta = new_index.shards[s];
+            self.shards[s].data = data;
+        }
+        self.index = new_index;
         self.overlay.clear();
         self.pending.clear();
         self.cache.clear();
+        self.delta_valid_len = 0; // the new epoch has no delta file yet
+        clean_stale_files(&self.dir, &self.name, &self.index);
         Ok(())
     }
 
@@ -591,7 +742,7 @@ impl PackTable {
     /// deliberately skips it so warm starts stay O(1) in table size.
     pub fn verify(&self) -> Result<(), PackError> {
         for (s, shard) in self.shards.iter().enumerate() {
-            let path = shard_path(&self.dir, &self.name, s);
+            let path = shard_path(&self.dir, &self.name, s, shard.meta.epoch);
             let what = path.display().to_string();
             let bytes = std::fs::read(&path).map_err(|e| PackError::io(&path, &e))?;
             let want_len = shard_file_len(shard.meta.n_rows, self.dim) as usize;
@@ -631,6 +782,7 @@ impl PackTable {
             cache: HotRowCache::new(0),
             pending: BTreeMap::new(),
             cache_rows: 0,
+            delta_valid_len: 0,
         };
         scratch.replay_deltas()?;
         Ok(())

@@ -13,8 +13,11 @@ pub const IDX_MAGIC: &[u8; 8] = b"BASMPIDX";
 pub const MANIFEST_MAGIC: &[u8; 8] = b"BASMPDIR";
 /// Delta-chunk magic (one per flushed chunk, not per file).
 pub const DELTA_CHUNK_MAGIC: &[u8; 4] = b"PDLT";
-/// Format version shared by shard, index, and manifest files.
-pub const PACK_VERSION: u32 = 1;
+/// Format version shared by shard, index, and manifest files. v2 added the
+/// crash-consistency epochs: a per-shard epoch and the index's delta epoch
+/// (DESIGN.md §13) — multi-file rewrites land under a fresh epoch and commit
+/// atomically through the index.
+pub const PACK_VERSION: u32 = 2;
 
 /// Fixed shard-header length (multiple of 8 so the f32 payload that follows
 /// stays 4-byte aligned inside a page-aligned mapping).
@@ -242,6 +245,12 @@ pub struct ShardMeta {
     pub start_row: u64,
     /// Rows in the shard.
     pub n_rows: u64,
+    /// Which epoch-named file holds the shard (`<name>.<s>.pack` for epoch
+    /// 0, `<name>.<s>.e<E>.pack` beyond). Compaction rewrites dirty shards
+    /// under a fresh epoch so the old file survives untouched until the new
+    /// index commits — the fix for the old shard-then-index window that
+    /// bricked `open` with a CRC mismatch.
+    pub epoch: u64,
     /// CRC32 of the shard's payload (duplicated in the shard trailer; the
     /// index copy lets `verify` cross-check without trusting either file
     /// alone).
@@ -255,6 +264,12 @@ pub struct IndexFile {
     pub rows: u64,
     /// Embedding dimension.
     pub dim: u32,
+    /// Epoch of the table's delta file (`<name>.delta` for 0,
+    /// `<name>.d<E>.delta` beyond). Compaction and base rewrites advance it,
+    /// so deltas flushed against the *old* base can never replay over the
+    /// new one — a crash between the index commit and the old delta file's
+    /// removal leaves a stale file the new index simply never reads.
+    pub delta_epoch: u64,
     /// Cumulative row counts by key byte (`fanout[b]` = rows with key byte
     /// `<= b`); `fanout[255] == rows`.
     pub fanout: [u64; FANOUT],
@@ -286,6 +301,7 @@ impl IndexFile {
         put_u32(&mut out, PACK_VERSION);
         put_u64(&mut out, self.rows);
         put_u32(&mut out, self.dim);
+        put_u64(&mut out, self.delta_epoch);
         put_u32(&mut out, self.shards.len() as u32);
         for f in self.fanout {
             put_u64(&mut out, f);
@@ -293,6 +309,7 @@ impl IndexFile {
         for s in &self.shards {
             put_u64(&mut out, s.start_row);
             put_u64(&mut out, s.n_rows);
+            put_u64(&mut out, s.epoch);
             put_u32(&mut out, s.payload_crc);
         }
         let crc = crc32(&out);
@@ -321,6 +338,7 @@ impl IndexFile {
         }
         let rows = c.u64()?;
         let dim = c.u32()?;
+        let delta_epoch = c.u64()?;
         let n_shards = c.u32()? as usize;
         let mut fanout = [0u64; FANOUT];
         for slot in &mut fanout {
@@ -330,8 +348,9 @@ impl IndexFile {
         for _ in 0..n_shards {
             let start_row = c.u64()?;
             let n_rows = c.u64()?;
+            let epoch = c.u64()?;
             let payload_crc = c.u32()?;
-            shards.push(ShardMeta { start_row, n_rows, payload_crc });
+            shards.push(ShardMeta { start_row, n_rows, epoch, payload_crc });
         }
         c.finish()?;
         // Geometry invariants: contiguous cover of 0..rows, fanout consistent.
@@ -348,7 +367,7 @@ impl IndexFile {
         if fanout != Self::build_fanout(rows) {
             return Err(PackError::Corrupt(format!("{what}: fan-out disagrees with row count")));
         }
-        Ok(Self { rows, dim, fanout, shards })
+        Ok(Self { rows, dim, delta_epoch, fanout, shards })
     }
 }
 
@@ -408,10 +427,11 @@ mod tests {
         let idx = IndexFile {
             rows,
             dim: 8,
+            delta_epoch: 3,
             fanout: IndexFile::build_fanout(rows),
             shards: vec![
-                ShardMeta { start_row: 0, n_rows: 600, payload_crc: 7 },
-                ShardMeta { start_row: 600, n_rows: 400, payload_crc: 9 },
+                ShardMeta { start_row: 0, n_rows: 600, epoch: 0, payload_crc: 7 },
+                ShardMeta { start_row: 600, n_rows: 400, epoch: 2, payload_crc: 9 },
             ],
         };
         let enc = idx.encode();
@@ -436,8 +456,9 @@ mod tests {
         let mut idx = IndexFile {
             rows,
             dim: 4,
+            delta_epoch: 0,
             fanout: IndexFile::build_fanout(rows),
-            shards: vec![ShardMeta { start_row: 0, n_rows: 90, payload_crc: 0 }],
+            shards: vec![ShardMeta { start_row: 0, n_rows: 90, epoch: 0, payload_crc: 0 }],
         };
         let enc = idx.encode();
         assert!(matches!(IndexFile::decode(&enc, "i"), Err(PackError::Corrupt(_))));

@@ -13,19 +13,29 @@
 //! ```text
 //! <dir>/MANIFEST        directory of tables: name, rows, dim, shard count
 //! <dir>/<table>.idx     fan-out index: 256-entry cumulative row counts,
-//!                       per-shard (start_row, n_rows, payload CRC32)
-//! <dir>/<table>.<s>.pack  shard s: header + n_rows fixed-width records
-//!                         (dim f32 weights ++ dim f32 Adagrad accumulators,
-//!                         little-endian) + CRC32 trailer over the payload
-//! <dir>/<table>.delta   append-only CRC'd chunks of (row, record) updates
-//!                       written by online training between compactions
+//!                       per-shard (start_row, n_rows, epoch, payload CRC32),
+//!                       and the delta epoch — the index IS the commit point
+//! <dir>/<table>.<s>.pack        shard s at epoch 0: header + n_rows
+//! <dir>/<table>.<s>.e<E>.pack   fixed-width records (dim f32 weights ++
+//!                               dim f32 Adagrad accumulators, little-
+//!                               endian) + CRC32 trailer over the payload
+//! <dir>/<table>.delta           append-only CRC'd chunks of (row, record)
+//! <dir>/<table>.d<E>.delta      updates at delta epoch 0 / E, written by
+//!                               online training between compactions
 //! ```
 //!
 //! Every file is length-checked on open: trailing bytes past the last valid
 //! section are rejected with [`PackError::TrailingBytes`] (a concatenated or
 //! partially-overwritten file must never load as if clean). All writes go
-//! through [`atomic_write`]: temp file in the same directory, then rename —
-//! a crash mid-write can never clobber a valid predecessor.
+//! through [`atomic_write`]: temp file in the same directory, fsync, rename,
+//! parent-dir fsync — a crash mid-write can never clobber a valid
+//! predecessor. Rewrites that span files (compaction, a fresh base over an
+//! existing table) write every new file under the **next epoch** and commit
+//! by atomically replacing the index; a crash anywhere in the window leaves
+//! the old index pointing at untouched old-epoch files (DESIGN.md §13), and
+//! stale epochs are swept opportunistically after the next successful
+//! commit. The [`crash`] module's kill-point shim enumerates exactly these
+//! windows in the crash-sweep suite.
 //!
 //! ## Read path
 //!
@@ -39,11 +49,14 @@
 //! ## Write path
 //!
 //! Online updates land in the overlay and an in-memory delta buffer;
-//! [`PackTable::flush_deltas`] appends them to `<table>.delta` as a CRC'd
-//! chunk, and [`PackTable::compact`] folds overlay + deltas back into freshly
-//! rewritten shards (atomically) and truncates the delta file. Opening a
-//! table replays its delta file into the overlay, so a crash after a flush
-//! loses nothing.
+//! [`PackTable::flush_deltas`] appends them to the current delta file as a
+//! CRC'd chunk and fsyncs before returning — once a flush returns `Ok`, a
+//! crash loses nothing (and on error the pending buffer is retained for
+//! retry, not dropped). [`PackTable::compact`] folds overlay + deltas back
+//! into rebuilt shards under a new epoch and retires the delta file. Opening
+//! a table replays its delta file into the overlay; an incomplete final
+//! chunk — the signature of a crash mid-append — is dropped as a torn tail,
+//! while a checksum mismatch on a complete chunk still fails loud.
 //!
 //! ## Contract
 //!
@@ -76,11 +89,13 @@
 //! std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+pub mod crash;
 mod dir;
 mod format;
 mod lru;
 mod mapping;
 
+pub use crash::{set_crash_plan, CrashPlan};
 pub use dir::{
     auto_shard_rows, read_manifest, write_manifest, write_table, ManifestEntry, PackOptions,
     PackTable,
@@ -143,39 +158,77 @@ pub fn set_emb_store(mode: Option<StoreMode>) {
 
 static TEMP_DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
 
-/// A fresh, unique directory under the system temp dir for a pack store that
-/// was *created* (rather than attached) in pack mode. The caller owns it.
-pub fn fresh_temp_dir() -> std::path::PathBuf {
-    let n = TEMP_DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
-    std::env::temp_dir().join(format!("basm-pack-{}-{n}", std::process::id()))
+/// A process-unique token for temp names. Pid alone is not enough: pids are
+/// recycled, so a *distinct* process reusing the pid of a crashed writer
+/// would collide with its leftover `basm-pack-<pid>-<n>` names. Mix the
+/// boot-relative start time (nanoseconds since the epoch) into the token so
+/// two processes can only collide if they share pid **and** start instant.
+fn process_token() -> u64 {
+    static TOKEN: OnceLock<u64> = OnceLock::new();
+    *TOKEN.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        // splitmix64 over pid ^ start-time: short, well-mixed, stable.
+        let mut z = nanos ^ ((std::process::id() as u64) << 32);
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    })
 }
 
-/// Write `bytes` to `path` atomically: temp file in the same directory, then
-/// rename over the target. A crash mid-write leaves either the old file or
-/// the new one — never a truncated hybrid. The temp name is seeded by pid +
-/// a process-global counter so concurrent writers in one test binary cannot
-/// collide.
+/// A fresh, unique directory under the system temp dir for a pack store that
+/// was *created* (rather than attached) in pack mode. The caller owns it.
+/// Unique across threads (counter) and across processes even under pid reuse
+/// (the name embeds a per-process boot token, not the bare pid).
+pub fn fresh_temp_dir() -> std::path::PathBuf {
+    let n = TEMP_DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("basm-pack-{:016x}-{n}", process_token()))
+}
+
+/// Write `bytes` to `path` atomically **and durably**: temp file in the same
+/// directory, `sync_all`, rename over the target, then fsync the parent
+/// directory (without which the rename itself may not survive power loss). A
+/// crash mid-write leaves either the old file or the new one — never a
+/// truncated hybrid. The temp name is seeded by a process token + global
+/// counter so concurrent writers cannot collide even across processes
+/// sharing a recycled pid.
+///
+/// All three IO steps run through the [`crash`] kill-point shim; the
+/// crash-sweep suite enumerates a kill at each and proves old-or-new
+/// recovery. Cleanup of a torn temp file is best-effort and never masks the
+/// original error (and is suppressed entirely after an injected kill — a
+/// dead process cleans nothing).
 pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
     let path = path.as_ref();
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let n = TEMP_DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
     let tmp_name = format!(
-        ".{}.tmp-{}-{n}",
+        ".{}.tmp-{:016x}-{n}",
         path.file_name().and_then(|f| f.to_str()).unwrap_or("packstore"),
-        std::process::id(),
+        process_token(),
     );
     let tmp = match dir {
         Some(d) => d.join(&tmp_name),
         None => std::path::PathBuf::from(&tmp_name),
     };
     let result = (|| {
-        std::fs::write(&tmp, bytes)?;
-        std::fs::rename(&tmp, path)
+        crash::write_file(&tmp, bytes)?;
+        crash::rename(&tmp, path)?;
+        match dir {
+            Some(d) => crash::sync_dir(d),
+            None => crash::sync_dir(Path::new(".")),
+        }
     })();
-    if result.is_err() {
-        let _ = std::fs::remove_file(&tmp);
+    if let Err(e) = result {
+        // Best-effort cleanup; the remove's own error (if any) must not
+        // shadow the failure that got us here.
+        let _ = crash::remove_file(&tmp);
+        return Err(e);
     }
-    result
+    Ok(())
 }
 
 #[cfg(test)]

@@ -199,7 +199,7 @@ fn delta_flush_reopen_and_compaction_are_equivalent() {
 }
 
 #[test]
-fn torn_delta_tail_is_rejected() {
+fn torn_delta_tail_is_dropped_and_truncated() {
     let dir = scratch_dir();
     let rows = 10;
     let dim = 2;
@@ -207,19 +207,40 @@ fn torn_delta_tail_is_rejected() {
     write_table(&dir, "t", rows, dim, &lcg_f32s(3, rows * dim), &lcg_f32s(4, rows * dim), opts)
         .unwrap();
     let mut table = PackTable::open(&dir, "t", rows, dim, opts).unwrap();
-    table.write_record(3, &lcg_f32s(5, 2 * dim));
+    let rec = lcg_f32s(5, 2 * dim);
+    table.write_record(3, &rec);
     table.flush_deltas().unwrap();
     drop(table);
 
-    // A writer that died mid-append leaves a torn chunk: strict rejection,
-    // never a silent half-replay.
+    // A writer that died mid-append leaves an incomplete final chunk. That
+    // is a crash artifact, not corruption: replay keeps the complete chunks,
+    // drops the tail, and truncates the file back to valid bytes.
     let delta = dir.join("t.delta");
-    let mut bytes = std::fs::read(&delta).unwrap();
-    bytes.extend_from_slice(&bytes.clone()[..7]);
-    std::fs::write(&delta, &bytes).unwrap();
+    let bytes = std::fs::read(&delta).unwrap();
+    let valid_len = bytes.len();
+    let mut torn = bytes.clone();
+    torn.extend_from_slice(&bytes[..7]);
+    std::fs::write(&delta, &torn).unwrap();
+    let reopened = PackTable::open(&dir, "t", rows, dim, opts).unwrap();
+    assert_eq!(reopened.overlay_len(), 1, "complete chunk still replays");
+    let bits: Vec<u32> = reopened.record(3).iter().map(|v| v.to_bits()).collect();
+    assert_eq!(bits, rec.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+    drop(reopened);
+    assert_eq!(
+        std::fs::metadata(&delta).unwrap().len(),
+        valid_len as u64,
+        "torn tail truncated so later appends continue from valid bytes"
+    );
+
+    // A CRC mismatch on a *complete* chunk cannot come from a torn append:
+    // still strict rejection.
+    let mut corrupt = std::fs::read(&delta).unwrap();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0xff;
+    std::fs::write(&delta, &corrupt).unwrap();
     assert!(matches!(
         PackTable::open(&dir, "t", rows, dim, opts),
-        Err(PackError::TrailingBytes(_))
+        Err(PackError::ChecksumMismatch { .. })
     ));
     let _ = std::fs::remove_dir_all(&dir);
 }

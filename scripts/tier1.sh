@@ -75,6 +75,28 @@ for memo in 0 1; do
     done
 done
 
+# The crash-consistency layer (DESIGN.md §13) adds two gates. First the
+# kill-point sweeps: the packstore crash-sweep enumerates "die at IO op k,
+# tear the last write at byte b" over checkpoint/compact/flush and proves
+# reopen always lands on old-or-new state, and the serving crash suite kills
+# a live replica (at request preps and inside WAL appends) and pins the
+# supervised recovery bitwise-equal to the uninterrupted run. Second the WAL
+# equivalence matrix: journaling is a durability knob, never a bits knob, so
+# the serving suite — including the frontend determinism pins and the
+# recovery suite itself — must stay green with the WAL off and on, whichever
+# residency (RAM or pack directory) backs the embedding tables.
+echo "== tier1: basm-tensor crash sweep (kill-point enumeration) =="
+cargo test -q -p basm-tensor --test crash_sweep
+echo "== tier1: basm-serving crash recovery (supervised restart pins) =="
+cargo test -q -p basm-serving --test crash_recovery
+for wal in 0 1; do
+    for store in ram pack; do
+        echo "== tier1: basm-serving tests (BASM_WAL=$wal, BASM_EMB_STORE=$store, BASM_THREADS=4) =="
+        BASM_WAL=$wal BASM_EMB_STORE=$store BASM_THREADS=4 \
+            cargo test -q -p basm-serving --tests
+    done
+done
+
 for obs in 0 1; do
     echo "== tier1: cargo test --features obs (BASM_OBS=$obs) =="
     BASM_OBS=$obs cargo test -q --workspace --features obs
