@@ -11,14 +11,13 @@
 //! the pack-backed store and reports the hot-row-cache hit rates, at two
 //! embedding scales (tiny and eleme-like worlds).
 
-use basm_bench::BenchEnv;
+use basm_bench::{timing, BenchEnv};
 use basm_core::checkpoint::{load_model_dir, load_model_file, save_model_dir, save_model_file};
 use basm_core::model::CtrModel;
 use basm_data::WorldConfig;
 use basm_tensor::packstore;
 use basm_tensor::Graph;
 use serde::Serialize;
-use std::time::Instant;
 
 #[derive(Serialize)]
 struct CacheReport {
@@ -73,11 +72,6 @@ fn dir_bytes(dir: &std::path::Path) -> u64 {
         }
     }
     total
-}
-
-fn median(mut v: Vec<f64>) -> f64 {
-    v.sort_by(f64::total_cmp);
-    v[v.len() / 2]
 }
 
 /// Drive a Zipf-ish id stream through every table's cached gather path and
@@ -136,14 +130,12 @@ fn bench_config(cfg: &WorldConfig, reps: usize) -> SizeReport {
     // Interleave the two load paths so host-speed drift hits both equally.
     for _ in 0..reps {
         let mut m = basm_baselines::build_model("Wide&Deep", cfg, 2);
-        let t0 = Instant::now();
-        load_model_file(m.as_mut(), &flat_path).expect("cold load");
-        cold_samples.push(t0.elapsed().as_secs_f64());
+        cold_samples
+            .push(timing::timed(|| load_model_file(m.as_mut(), &flat_path).expect("cold load")).1);
 
         let mut m = basm_baselines::build_model("Wide&Deep", cfg, 2);
-        let t0 = Instant::now();
-        load_model_dir(m.as_mut(), &dir_path).expect("warm attach");
-        warm_samples.push(t0.elapsed().as_secs_f64());
+        warm_samples
+            .push(timing::timed(|| load_model_dir(m.as_mut(), &dir_path).expect("warm attach")).1);
         resident = m.embedder().emb.memory_bytes();
     }
 
@@ -164,8 +156,8 @@ fn bench_config(cfg: &WorldConfig, reps: usize) -> SizeReport {
     }
 
     let cache = cache_workload(warm.as_mut(), 200);
-    let cold_load_secs = median(cold_samples);
-    let warm_attach_secs = median(warm_samples);
+    let cold_load_secs = timing::median(cold_samples);
+    let warm_attach_secs = timing::median(warm_samples);
     let report = SizeReport {
         config: cfg.name.clone(),
         emb_rows,

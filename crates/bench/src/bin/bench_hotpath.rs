@@ -11,6 +11,7 @@
 //! cold predictions must be bitwise identical (the full pin lives in
 //! `crates/tensor/tests/parallel_determinism.rs` and the model crates).
 
+use basm_bench::timing::{self, ModeStat};
 use basm_bench::BenchEnv;
 use basm_core::model::{predict, train_step, CtrModel};
 use basm_data::{generate_dataset, Context, StatCounters, TimePeriod, WorldConfig};
@@ -19,26 +20,15 @@ use basm_tensor::bufpool;
 use basm_tensor::optim::AdagradDecay;
 use serde::Serialize;
 use std::collections::VecDeque;
-use std::time::Instant;
-
-/// Per-mode timing over `reps` repetitions of one unit of work.
-#[derive(Serialize)]
-struct ModeStat {
-    /// `"pooled"` (`BASM_POOL=1`, default) or `"cold"` (`BASM_POOL=0`).
-    mode: String,
-    reps: usize,
-    best_secs: f64,
-    median_secs: f64,
-}
 
 #[derive(Serialize)]
 struct Comparison {
     workload: String,
+    /// `BASM_POOL=0`: fresh graph + heap allocation per op.
     cold: ModeStat,
+    /// `BASM_POOL=1` (default): recycling arena.
     pooled: ModeStat,
-    /// Median of per-pair `cold/pooled` ratios. Reps alternate cold/pooled,
-    /// so each pair sees the same instantaneous host speed and the ratio is
-    /// robust to the drift a shared 1-core host shows.
+    /// Median of per-pair `cold/pooled` ratios (`basm_bench::timing`).
     speedup: f64,
 }
 
@@ -52,54 +42,38 @@ struct HotpathBench {
     comparisons: Vec<Comparison>,
 }
 
-fn stat(mode: &str, mut samples: Vec<f64>) -> ModeStat {
-    samples.sort_by(f64::total_cmp);
-    ModeStat {
-        mode: mode.to_string(),
-        reps: samples.len(),
-        best_secs: samples[0],
-        median_secs: samples[samples.len() / 2],
-    }
-}
-
-/// Time the two modes **interleaved** rep by rep: on a shared/throttling
-/// host, low-frequency speed drift would otherwise bias whichever phase runs
-/// second; alternating within the same time window hits both modes equally.
-fn compare(workload: &str, reps: usize, warmup: usize, mut f: impl FnMut(bool)) -> Comparison {
-    for pooled in [false, true] {
-        bufpool::set_pooling(Some(pooled));
-        for _ in 0..warmup {
-            f(pooled);
-        }
-    }
-    let mut cold_samples = Vec::with_capacity(reps);
-    let mut pooled_samples = Vec::with_capacity(reps);
-    for _ in 0..reps {
-        bufpool::set_pooling(Some(false));
-        let t0 = Instant::now();
-        f(false);
-        cold_samples.push(t0.elapsed().as_secs_f64());
-        bufpool::set_pooling(Some(true));
-        let t0 = Instant::now();
-        f(true);
-        pooled_samples.push(t0.elapsed().as_secs_f64());
-    }
-    bufpool::set_pooling(None);
-    let mut ratios: Vec<f64> = cold_samples
-        .iter()
-        .zip(pooled_samples.iter())
-        .map(|(c, p)| c / p)
-        .collect();
-    ratios.sort_by(f64::total_cmp);
-    let speedup = ratios[ratios.len() / 2];
-    let cold = stat("cold", cold_samples);
-    let pooled = stat("pooled", pooled_samples);
-    eprintln!(
-        "[bench_hotpath] {workload}: cold {:.1}µs, pooled {:.1}µs ({speedup:.2}x)",
-        cold.median_secs * 1e6,
-        pooled.median_secs * 1e6,
+/// Interleaved cold/pooled comparison of one unit of work (the shared
+/// `basm_bench::timing` discipline, toggling the pool around each rep).
+fn compare(workload: &str, reps: usize, warmup: usize, f: impl FnMut(bool)) -> Comparison {
+    // Both arms drive the same workload closure; the RefCell lets the two
+    // interleaved thunks share it without aliasing &mut.
+    let f = std::cell::RefCell::new(f);
+    let run = timing::interleave(
+        ("cold", "pooled"),
+        reps,
+        warmup,
+        || {
+            bufpool::set_pooling(Some(false));
+            f.borrow_mut()(false);
+        },
+        || {
+            bufpool::set_pooling(Some(true));
+            f.borrow_mut()(true);
+        },
     );
-    Comparison { workload: workload.to_string(), cold, pooled, speedup }
+    bufpool::set_pooling(None);
+    eprintln!(
+        "[bench_hotpath] {workload}: cold {:.1}µs, pooled {:.1}µs ({:.2}x)",
+        run.baseline.median_secs * 1e6,
+        run.candidate.median_secs * 1e6,
+        run.speedup,
+    );
+    Comparison {
+        workload: workload.to_string(),
+        cold: run.baseline,
+        pooled: run.candidate,
+        speedup: run.speedup,
+    }
 }
 
 fn main() {

@@ -17,14 +17,13 @@
 //! end: coalesced and sequential execution of the same schedule must agree
 //! on every exposure, bitwise.
 
-use basm_bench::BenchEnv;
+use basm_bench::{timing, BenchEnv};
 use basm_data::World;
 use basm_serving::{
     generate_arrivals, percentile_ns, run_load, Arrival, ArrivalConfig, FrontendConfig,
     LoadOutcome, LoadSummary, ServingPipeline,
 };
 use serde::Serialize;
-use std::time::Instant;
 
 /// Deterministic (simulated-clock) metrics for one load level.
 #[derive(Serialize)]
@@ -69,11 +68,6 @@ struct LoadBench {
     top_k: usize,
     note: String,
     levels: Vec<LoadLevel>,
-}
-
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(f64::total_cmp);
-    xs[xs.len() / 2]
 }
 
 fn sim_metrics(out: &LoadOutcome) -> SimMetrics {
@@ -130,10 +124,7 @@ fn bench_level(
     let run = |coalesce: bool| -> (LoadOutcome, f64) {
         let mut pipe = make_pipe(); // construction untimed
         let cfg = FrontendConfig { coalesce, ..FrontendConfig::default() };
-        let t0 = Instant::now();
-        let out = run_load(&mut pipe, world, arrivals, &cfg);
-        let secs = t0.elapsed().as_secs_f64();
-        (out, secs)
+        timing::timed(|| run_load(&mut pipe, world, arrivals, &cfg))
     };
 
     // Determinism cross-check + warmup in one: the first pair of runs must
@@ -142,6 +133,10 @@ fn bench_level(
     let (sequential_out, _) = run(false);
     assert_runs_agree(&coalesced_out, &sequential_out);
 
+    // Interleaved sequential/coalesced reps (shared `basm_bench::timing`
+    // discipline; the agreement pair above already warmed both arms). The
+    // sample is `run`'s inner clock — pipeline construction stays untimed —
+    // so the loop stays manual and only the statistics are shared.
     let mut seq_samples = Vec::with_capacity(reps);
     let mut coal_samples = Vec::with_capacity(reps);
     for _ in 0..reps {
@@ -152,15 +147,14 @@ fn bench_level(
         std::hint::black_box(out.summary.completed);
         coal_samples.push(secs);
     }
-    let ratios: Vec<f64> =
-        seq_samples.iter().zip(coal_samples.iter()).map(|(s, c)| s / c).collect();
-    let coalesced_median_secs = median(coal_samples);
-    let sequential_median_secs = median(seq_samples);
+    let speedup = timing::pairwise_speedup(&seq_samples, &coal_samples);
+    let coalesced_median_secs = timing::median(coal_samples);
+    let sequential_median_secs = timing::median(seq_samples);
     let wall = WallClock {
         reps,
         coalesced_median_secs,
         sequential_median_secs,
-        speedup: median(ratios),
+        speedup,
         coalesced_qps: coalesced_out.summary.completed as f64 / coalesced_median_secs.max(1e-12),
     };
     let sim = sim_metrics(&coalesced_out);

@@ -26,7 +26,7 @@
 //! rep 0 asserts the tier's contract end to end: memo-on and memo-off must
 //! agree on every exposure, bitwise.
 
-use basm_bench::BenchEnv;
+use basm_bench::{timing, BenchEnv};
 use basm_data::{BehaviorEvent, Context, TimePeriod, UserBlock, World};
 use basm_serving::{
     Exposure, FeatureServer, LbsRecall, MemoCache, MemoConfig, MemoStats, Request,
@@ -91,11 +91,6 @@ struct MemoBench {
     stage: StageClock,
     end_to_end: EndToEndClock,
     note: String,
-}
-
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(f64::total_cmp);
-    xs[xs.len() / 2]
 }
 
 /// A click on `item` consistent with the world's item profile.
@@ -294,11 +289,9 @@ fn main() {
         reps,
         laps_per_rep: stage_laps,
         requests_per_lap,
-        memoized_us_per_request: median(stage_memo.clone()) * 1e6 / stage_requests,
-        cold_us_per_request: median(stage_cold.clone()) * 1e6 / stage_requests,
-        speedup: median(
-            stage_cold.iter().zip(stage_memo.iter()).map(|(c, m)| c / m).collect(),
-        ),
+        memoized_us_per_request: timing::median(stage_memo.clone()) * 1e6 / stage_requests,
+        cold_us_per_request: timing::median(stage_cold.clone()) * 1e6 / stage_requests,
+        speedup: timing::pairwise_speedup(&stage_cold, &stage_memo),
     };
 
     // --- End-to-end wall clock: full serve path, interleaved, fresh
@@ -308,27 +301,24 @@ fn main() {
     let mut on_samples = Vec::with_capacity(reps);
     let mut off_samples = Vec::with_capacity(reps);
     for _ in 0..reps {
-        let mut pipe = make_pipe(false);
-        let t0 = Instant::now();
-        let (n, _) = run_workload(&mut pipe, world, &wl, false);
-        off_samples.push(t0.elapsed().as_secs_f64());
+        let mut pipe = make_pipe(false); // construction untimed
+        let (n, secs) = timing::timed(|| run_workload(&mut pipe, world, &wl, false).0);
+        off_samples.push(secs);
         std::hint::black_box(n);
 
         let mut pipe = make_pipe(true);
-        let t0 = Instant::now();
-        let (n, _) = run_workload(&mut pipe, world, &wl, false);
-        on_samples.push(t0.elapsed().as_secs_f64());
+        let (n, secs) = timing::timed(|| run_workload(&mut pipe, world, &wl, false).0);
+        on_samples.push(secs);
         std::hint::black_box(n);
     }
-    let ratios: Vec<f64> =
-        off_samples.iter().zip(on_samples.iter()).map(|(off, on)| off / on).collect();
-    let on_median = median(on_samples);
-    let off_median = median(off_samples);
+    let speedup = timing::pairwise_speedup(&off_samples, &on_samples);
+    let on_median = timing::median(on_samples);
+    let off_median = timing::median(off_samples);
     let end_to_end = EndToEndClock {
         reps,
         memo_on_median_secs: on_median,
         memo_off_median_secs: off_median,
-        speedup: median(ratios),
+        speedup,
         per_request_memo_on_us: on_median * 1e6 / served_on as f64,
         per_request_memo_off_us: off_median * 1e6 / served_on as f64,
     };

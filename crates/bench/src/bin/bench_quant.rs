@@ -1,0 +1,168 @@
+//! **BENCH_quant**: accuracy cost of the opt-in int8 serve path
+//! (`BASM_QUANT=int8`, DESIGN.md §14) against the f32 baseline, on the
+//! paper's two evaluation setups:
+//!
+//! * **Offline (Table IV setup)** — train BASM once per dataset, then score
+//!   the held-out test days twice with the *same weights*: once f32, once
+//!   through the per-channel int8 GEMM. The artifact records both full
+//!   metric rows and the AUC delta.
+//! * **Online (Table VII setup)** — a 7-day A/B where *both* arms are the
+//!   same trained BASM; the control serves f32, the treatment serves int8.
+//!   Any CTR gap is therefore purely quantization error.
+//!
+//! Ship policy, asserted here: the int8 path is acceptable only while
+//! |ΔAUC| < 0.002 on the offline setup.
+
+use basm_bench::BenchEnv;
+use basm_core::checkpoint::{load_model, save_model};
+use basm_metrics::MetricReport;
+use basm_serving::{run_ab_test, AbConfig, ServingPipeline};
+use basm_tensor::quant;
+use basm_trainer::{evaluate, train, TrainConfig};
+use serde::Serialize;
+
+/// The ship gate for the int8 serve path.
+const MAX_ABS_DELTA_AUC: f64 = 0.002;
+
+#[derive(Serialize)]
+struct OfflineRow {
+    dataset: String,
+    test_examples: usize,
+    quantized_matrices: usize,
+    f32: MetricReport,
+    int8: MetricReport,
+    /// `int8.auc - f32.auc` (negative = quantization hurt).
+    delta_auc: f64,
+    within_policy: bool,
+}
+
+#[derive(Serialize)]
+struct OnlineAb {
+    days: usize,
+    sessions_per_day: usize,
+    f32_ctr: f64,
+    int8_ctr: f64,
+    /// `(int8_ctr - f32_ctr) / f32_ctr`.
+    relative_delta: f64,
+}
+
+#[derive(Serialize)]
+struct QuantBench {
+    policy: String,
+    offline: Vec<OfflineRow>,
+    online_ab: OnlineAb,
+    note: String,
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+
+    // --- offline: Table IV protocol, f32 vs int8 on identical weights -----
+    let mut offline = Vec::new();
+    let mut eleme_bytes = None;
+    let eleme = env.eleme();
+    let public = env.public_data();
+    for data in [&eleme, &public] {
+        let ds = &data.dataset;
+        eprintln!("[bench_quant] training BASM on {}...", ds.config.name);
+        let mut model = basm_baselines::build_model("BASM", &ds.config, 1);
+        train(model.as_mut(), ds, &TrainConfig::default_for(ds, env.epochs, env.batch, 1));
+        let test = ds.test_indices();
+
+        quant::set_quant(Some(false));
+        let f32_report = evaluate(model.as_mut(), ds, &test, env.batch).report();
+        quant::set_quant(Some(true));
+        let quantized_matrices = model.params().prepare_quant();
+        assert!(quantized_matrices > 0, "no weight matrix was quantized");
+        let int8_report = evaluate(model.as_mut(), ds, &test, env.batch).report();
+        quant::set_quant(None);
+
+        let delta_auc = int8_report.auc - f32_report.auc;
+        let within_policy = delta_auc.abs() < MAX_ABS_DELTA_AUC;
+        eprintln!(
+            "[bench_quant] {}: AUC f32 {:.4} vs int8 {:.4} (Δ {:+.5}), logloss {:.4} vs {:.4}",
+            ds.config.name, f32_report.auc, int8_report.auc, delta_auc,
+            f32_report.logloss, int8_report.logloss,
+        );
+        assert!(
+            within_policy,
+            "|ΔAUC| = {:.5} breaches the {MAX_ABS_DELTA_AUC} ship gate on {}",
+            delta_auc.abs(),
+            ds.config.name
+        );
+        offline.push(OfflineRow {
+            dataset: ds.config.name.clone(),
+            test_examples: test.len(),
+            quantized_matrices,
+            f32: f32_report,
+            int8: int8_report,
+            delta_auc,
+            within_policy,
+        });
+        if eleme_bytes.is_none() {
+            // Reuse the eleme-trained weights for the online arms below.
+            eleme_bytes = Some(save_model(model.as_mut()));
+        }
+    }
+    let bytes = eleme_bytes.expect("eleme model trained");
+
+    // --- online: Table VII protocol, same weights in both arms -------------
+    // Control is built while quant is off, so its store holds no int8 copies
+    // and keeps serving f32 even though the flag stays on for the whole A/B.
+    // Treatment is attached with quant on, so `load_model` quantizes at
+    // attach time — exactly the production flow.
+    let ds = &eleme.dataset;
+    let world = &eleme.world;
+    let ab = AbConfig {
+        days: 7,
+        sessions_per_day: if env.fast { 200 } else { 1_000 },
+        recall_pool: 24,
+        top_k: ds.config.candidates_per_session,
+        seed: 20_220_801,
+    };
+    quant::set_quant(Some(false));
+    let mut f32_model = basm_baselines::build_model("BASM", &ds.config, 2);
+    load_model(f32_model.as_mut(), &bytes).expect("restore f32 arm");
+    let mut f32_pipe = ServingPipeline::new(world, f32_model, ab.recall_pool, ab.top_k);
+
+    quant::set_quant(Some(true));
+    let mut int8_model = basm_baselines::build_model("BASM", &ds.config, 2);
+    load_model(int8_model.as_mut(), &bytes).expect("restore int8 arm");
+    assert!(int8_model.params().num_quantized() > 0, "attach did not quantize");
+    let mut int8_pipe = ServingPipeline::new(world, int8_model, ab.recall_pool, ab.top_k);
+
+    eprintln!(
+        "[bench_quant] running {}-day f32-vs-int8 A/B with {} sessions/day...",
+        ab.days, ab.sessions_per_day
+    );
+    let result = run_ab_test(world, &mut f32_pipe, &mut int8_pipe, &ab);
+    quant::set_quant(None);
+    let (f32_ctr, int8_ctr, relative_delta) = result.overall();
+    eprintln!(
+        "[bench_quant] online CTR: f32 {:.3}% vs int8 {:.3}% ({:+.2}% relative)",
+        f32_ctr * 100.0,
+        int8_ctr * 100.0,
+        relative_delta * 100.0
+    );
+
+    let report = QuantBench {
+        policy: format!(
+            "int8 serve path ships only while |ΔAUC| < {MAX_ABS_DELTA_AUC} on the offline \
+             setup (asserted by this binary; a breach aborts the bench)"
+        ),
+        offline,
+        online_ab: OnlineAb {
+            days: ab.days,
+            sessions_per_day: ab.sessions_per_day,
+            f32_ctr,
+            int8_ctr,
+            relative_delta,
+        },
+        note: "Both offline rows score identical trained weights; both online arms serve \
+               identical trained weights (control f32, treatment int8 via BASM_QUANT=int8 \
+               attach-time quantization). Deltas are therefore pure quantization error, \
+               not training variance. Wall-clock effect is measured in BENCH_simd.json."
+            .into(),
+    };
+    env.write_json("BENCH_quant.json", &report);
+}

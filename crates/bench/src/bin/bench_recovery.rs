@@ -14,7 +14,7 @@
 //!   uninterrupted run's; the artifact records the wall-clock overhead that
 //!   equality costs.
 
-use basm_bench::BenchEnv;
+use basm_bench::{timing, BenchEnv};
 use basm_core::checkpoint::{load_model_dir, save_model_dir};
 use basm_data::{BehaviorEvent, World};
 use basm_serving::{
@@ -23,7 +23,6 @@ use basm_serving::{
     WalRecord,
 };
 use serde::Serialize;
-use std::time::Instant;
 
 #[derive(Serialize)]
 struct WalReplayPoint {
@@ -92,14 +91,13 @@ fn wal_replay_point(n: usize, n_users: usize, n_items: usize) -> WalReplayPoint 
     drop(j);
     let wal_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
 
-    let t0 = Instant::now();
-    let (journal, records, stats) = Journal::recover(&path).expect("recover wal");
-    let recover_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let ((journal, records, stats), recover_secs) =
+        timing::timed(|| Journal::recover(&path).expect("recover wal"));
+    let recover_ms = recover_secs * 1e3;
     assert_eq!(stats.records as usize, n);
     let fs = FeatureServer::new(n_users, n_items, 50);
-    let t1 = Instant::now();
-    fs.replay_records(&records).expect("replay");
-    let replay_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let (_, replay_secs) = timing::timed(|| fs.replay_records(&records).expect("replay"));
+    let replay_ms = replay_secs * 1e3;
     drop(journal);
     let _ = std::fs::remove_file(&path);
     let total_secs = (recover_ms + replay_ms) / 1e3;
@@ -141,13 +139,13 @@ fn main() {
     ));
     let _ = std::fs::remove_dir_all(&ckpt_dir);
     let mut model = basm_baselines::build_model("BASM", &world.config, 1);
-    let t0 = Instant::now();
-    save_model_dir(model.as_mut(), &ckpt_dir).expect("save checkpoint");
-    let save_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (_, save_secs) =
+        timing::timed(|| save_model_dir(model.as_mut(), &ckpt_dir).expect("save checkpoint"));
+    let save_ms = save_secs * 1e3;
     let mut restored = basm_baselines::build_model("BASM", &world.config, 1);
-    let t1 = Instant::now();
-    load_model_dir(restored.as_mut(), &ckpt_dir).expect("load checkpoint");
-    let load_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let (_, load_secs) =
+        timing::timed(|| load_model_dir(restored.as_mut(), &ckpt_dir).expect("load checkpoint"));
+    let load_ms = load_secs * 1e3;
     eprintln!("[bench_recovery] checkpoint save {save_ms:.1}ms, restore {load_ms:.1}ms");
     let model_restore = ModelRestore { save_ms, load_ms };
 
@@ -193,9 +191,9 @@ fn main() {
         }
     }));
 
-    let t2 = Instant::now();
-    let baseline: LoadOutcome = run_load(&mut build(), world, &arrivals, &cfg);
-    let uninterrupted_wall_ms = t2.elapsed().as_secs_f64() * 1e3;
+    let (baseline, base_secs): (LoadOutcome, f64) =
+        timing::timed(|| run_load(&mut build(), world, &arrivals, &cfg));
+    let uninterrupted_wall_ms = base_secs * 1e3;
     let admitted = baseline.summary.admitted as u64;
 
     let exposures_sig = |out: &LoadOutcome| -> Vec<(usize, Vec<(u32, u32)>)> {
@@ -217,10 +215,10 @@ fn main() {
                 max_restarts: 2,
                 kill_at_prep: Some(kill_at_prep),
             };
-            let t = Instant::now();
-            let out =
-                run_load_supervised(world, &arrivals, &cfg, &sup, build).expect("supervised run");
-            let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+            let (out, secs) = timing::timed(|| {
+                run_load_supervised(world, &arrivals, &cfg, &sup, build).expect("supervised run")
+            });
+            let wall_ms = secs * 1e3;
             let bitwise_equal = exposures_sig(&out.load) == want;
             assert!(bitwise_equal, "recovery diverged at kill_at_prep={kill_at_prep}");
             let _ = std::fs::remove_file(&sup.wal_path);

@@ -126,9 +126,162 @@ pub fn artifact_path(env: &BenchEnv, name: &str) -> PathBuf {
     Path::new(&env.out_dir).join(name)
 }
 
+/// Shared wall-clock scaffolding for the `bench_*` comparison binaries.
+///
+/// The timing discipline every comparison bench follows (previously
+/// copy-pasted into `bench_hotpath`, `bench_memo`, `bench_load`, ...):
+///
+/// 1. **Interleave** the two arms rep by rep. On a shared/throttling 1-core
+///    host, low-frequency speed drift would otherwise bias whichever phase
+///    runs second; alternating inside the same time window hits both arms
+///    equally.
+/// 2. **Speedup = median of per-pair ratios.** Each rep pair sees the same
+///    instantaneous host speed, so the per-pair ratio is robust to drift the
+///    raw medians are not; the median over pairs then shrugs off stragglers.
+pub mod timing {
+    use serde::Serialize;
+    use std::time::Instant;
+
+    /// Median by `f64::total_cmp` (panics on an empty slice, like the
+    /// indexing the callers used to do).
+    pub fn median(mut xs: Vec<f64>) -> f64 {
+        xs.sort_by(f64::total_cmp);
+        xs[xs.len() / 2]
+    }
+
+    /// Median of per-pair `baseline[i] / candidate[i]` ratios — the drift-
+    /// robust speedup of candidate over baseline.
+    pub fn pairwise_speedup(baseline: &[f64], candidate: &[f64]) -> f64 {
+        median(baseline.iter().zip(candidate.iter()).map(|(b, c)| b / c).collect())
+    }
+
+    /// Run `f` and return its result plus elapsed seconds.
+    pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+        let t0 = Instant::now();
+        let out = f();
+        (out, t0.elapsed().as_secs_f64())
+    }
+
+    /// Per-arm timing summary over the interleaved reps.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct ModeStat {
+        /// Arm label, e.g. `"cold"` / `"pooled"`, `"scalar"` / `"simd"`.
+        pub mode: String,
+        pub reps: usize,
+        pub best_secs: f64,
+        pub median_secs: f64,
+    }
+
+    impl ModeStat {
+        /// Summarize one arm's samples.
+        pub fn from_samples(mode: &str, mut samples: Vec<f64>) -> Self {
+            samples.sort_by(f64::total_cmp);
+            Self {
+                mode: mode.to_string(),
+                reps: samples.len(),
+                best_secs: samples[0],
+                median_secs: samples[samples.len() / 2],
+            }
+        }
+    }
+
+    /// An interleaved pairwise-ratio-median comparison of two arms.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct Comparison {
+        pub baseline: ModeStat,
+        pub candidate: ModeStat,
+        /// Median of per-pair `baseline/candidate` ratios.
+        pub speedup: f64,
+    }
+
+    /// Time `baseline` and `candidate` interleaved rep by rep after
+    /// `warmup` untimed laps of each, and summarize with the pairwise-ratio
+    /// speedup. Each closure must run one full unit of its arm's work
+    /// (including any mode toggling it needs).
+    pub fn interleave(
+        labels: (&str, &str),
+        reps: usize,
+        warmup: usize,
+        mut baseline: impl FnMut(),
+        mut candidate: impl FnMut(),
+    ) -> Comparison {
+        for _ in 0..warmup {
+            baseline();
+        }
+        for _ in 0..warmup {
+            candidate();
+        }
+        let (b, c) = interleave_samples(reps, &mut baseline, &mut candidate);
+        summarize(labels, b, c)
+    }
+
+    /// The raw interleaved loop: alternate the arms `reps` times and return
+    /// `(baseline_samples, candidate_samples)` in seconds. For benches whose
+    /// report schema needs the samples themselves.
+    pub fn interleave_samples(
+        reps: usize,
+        mut baseline: impl FnMut(),
+        mut candidate: impl FnMut(),
+    ) -> (Vec<f64>, Vec<f64>) {
+        let mut b = Vec::with_capacity(reps);
+        let mut c = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            b.push(timed(&mut baseline).1);
+            c.push(timed(&mut candidate).1);
+        }
+        (b, c)
+    }
+
+    /// Package paired samples as a [`Comparison`].
+    pub fn summarize(
+        (baseline_label, candidate_label): (&str, &str),
+        baseline: Vec<f64>,
+        candidate: Vec<f64>,
+    ) -> Comparison {
+        let speedup = pairwise_speedup(&baseline, &candidate);
+        Comparison {
+            baseline: ModeStat::from_samples(baseline_label, baseline),
+            candidate: ModeStat::from_samples(candidate_label, candidate),
+            speedup,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn timing_median_and_pairwise_speedup() {
+        assert_eq!(timing::median(vec![3.0, 1.0, 2.0]), 2.0);
+        // Per-pair ratios: 2.0, 2.0, 4.0 → median 2.0 even though the raw
+        // medians (ruined by the straggler pair) would say otherwise.
+        let base = vec![2.0, 4.0, 40.0];
+        let cand = vec![1.0, 2.0, 10.0];
+        assert_eq!(timing::pairwise_speedup(&base, &cand), 2.0);
+        let cmp = timing::summarize(("a", "b"), base, cand);
+        assert_eq!(cmp.baseline.mode, "a");
+        assert_eq!(cmp.candidate.reps, 3);
+        assert_eq!(cmp.candidate.best_secs, 1.0);
+        assert_eq!(cmp.speedup, 2.0);
+    }
+
+    #[test]
+    fn timing_interleave_alternates_arms() {
+        use std::cell::RefCell;
+        let order = RefCell::new(String::new());
+        let cmp = timing::interleave(
+            ("x", "y"),
+            3,
+            1,
+            || order.borrow_mut().push('x'),
+            || order.borrow_mut().push('y'),
+        );
+        // Warmup runs each arm once up front; timed reps alternate.
+        assert_eq!(order.into_inner(), "xyxyxyxy");
+        assert_eq!(cmp.baseline.reps, 3);
+        assert!(cmp.speedup.is_finite());
+    }
 
     #[test]
     fn table_formatting_aligns() {

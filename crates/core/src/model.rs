@@ -149,8 +149,15 @@ pub fn train_step_checked(
 }
 
 /// Inference: predicted click probabilities for a batch.
+///
+/// Marks the graph as inference-mode, which lets dense layers route through
+/// the int8 serve kernels when `BASM_QUANT=int8` and the store holds prepared
+/// [`basm_tensor::QuantMatrix`] copies (see `ParamStore::prepare_quant`).
+/// Training steps never set this flag, so quantization can never leak into
+/// gradients.
 pub fn predict(model: &mut dyn CtrModel, batch: &Batch) -> Vec<f32> {
     let probs = with_graph(|g| {
+        g.set_inference(true);
         let fwd = model.forward(g, batch, false);
         g.value(fwd.logits)
             .data()
@@ -176,6 +183,7 @@ pub struct Inference {
 /// Run inference capturing hidden states and α weights.
 pub fn predict_full(model: &mut dyn CtrModel, batch: &Batch) -> Inference {
     let out = with_graph(|g| {
+        g.set_inference(true);
         let fwd = model.forward(g, batch, false);
         let probs = g
             .value(fwd.logits)

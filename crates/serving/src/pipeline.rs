@@ -218,6 +218,13 @@ impl ServingPipeline {
                 let _ = features.attach_journal(j);
             }
         }
+        let mut model = model;
+        // BASM_QUANT=int8: build the int8 serve copies of the dense weights up
+        // front (no-op otherwise). Online trainer updates go through
+        // `ParamStore::value_mut`, which invalidates the touched copies —
+        // those layers transparently fall back to f32 until the next
+        // checkpoint attach re-quantizes.
+        model.params().prepare_quant();
         Self {
             model,
             features,

@@ -1,0 +1,135 @@
+//! `BASM_QUANT=int8` serving smoke (DESIGN.md §14).
+//!
+//! Quantization is the one opt-in knob that moves bits by design, so the
+//! contract here is *equivalence of ranking*, not bitwise equality: an int8
+//! arm must serve finite scores close to its f32 twin, agree with it on the
+//! head of the ranking for session-shaped traffic, and keep doing so across
+//! online click writes. The accuracy budget itself (|ΔAUC| < 0.002) is
+//! measured offline by `bench_quant` into `results/BENCH_quant.json`.
+
+use basm_baselines::build_model;
+use basm_data::{World, WorldConfig};
+use basm_serving::{Request, ServingPipeline};
+use basm_tensor::{quant, Prng};
+use std::sync::Mutex;
+
+/// The quant override is process-global; serialize tests that flip it.
+static SETTINGS: Mutex<()> = Mutex::new(());
+
+fn pipeline(world: &World) -> ServingPipeline {
+    #[cfg_attr(not(feature = "faults"), allow(unused_mut))]
+    let mut pipe =
+        ServingPipeline::new(world, build_model("Wide&Deep", &world.config, 1), 12, 5);
+    #[cfg(feature = "faults")]
+    pipe.set_faults(None);
+    pipe
+}
+
+#[test]
+fn int8_arm_serves_finite_scores_and_agrees_on_ranking_head() {
+    let _guard = SETTINGS.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = WorldConfig::tiny();
+    let world = World::generate(cfg.clone());
+
+    // f32 arm: quant explicitly off regardless of ambient BASM_QUANT.
+    quant::set_quant(Some(false));
+    let mut f32_arm = pipeline(&world);
+    assert_eq!(f32_arm.model.params().num_quantized(), 0);
+
+    // int8 arm: quantized copies are built at pipeline construction.
+    quant::set_quant(Some(true));
+    let mut int8_arm = pipeline(&world);
+    assert!(
+        int8_arm.model.params().num_quantized() > 0,
+        "pipeline construction must prepare the int8 serve copies"
+    );
+
+    let mut rng_f = Prng::seeded(41);
+    let mut rng_q = Prng::seeded(41);
+    let mut head_agree = 0usize;
+    let mut total = 0usize;
+    for round in 0..2u16 {
+        for uid in 0..6usize {
+            let req = Request { uid, day: round, hour: 12, geo: world.users[uid].geo };
+            quant::set_quant(Some(false));
+            let f = f32_arm.serve(&world, req, &mut rng_f).expect("in-range");
+            quant::set_quant(Some(true));
+            let q = int8_arm.serve(&world, req, &mut rng_q).expect("in-range");
+
+            assert_eq!(f.len(), q.len(), "slate size moved under int8");
+            assert!(
+                q.iter().all(|e| e.score.is_finite()),
+                "int8 scoring emitted a non-finite exposure score"
+            );
+            // Scores track the f32 arm closely (probabilities in [0,1]; the
+            // int8 error budget at these widths is a couple of percent).
+            for (ef, eq) in f.iter().zip(q.iter()) {
+                if ef.item == eq.item {
+                    assert!(
+                        (ef.score - eq.score).abs() < 0.05,
+                        "item {}: f32 {} vs int8 {} drifted",
+                        ef.item, ef.score, eq.score
+                    );
+                }
+            }
+            total += 1;
+            head_agree += usize::from(f[0].item == q[0].item);
+        }
+        // Online writes between sessions: the feature-state path is shared,
+        // the dense weights are untouched, the int8 copies stay valid.
+        for uid in (0..6usize).step_by(2) {
+            for pipe in [&mut f32_arm, &mut int8_arm] {
+                let it = &world.items[(uid * 3) % world.items.len()];
+                pipe.features.record_click(
+                    uid,
+                    basm_data::BehaviorEvent {
+                        item: (uid * 3) as u32 % world.items.len() as u32,
+                        cat: it.category,
+                        brand: it.brand,
+                        tp: basm_data::TimePeriod::from_hour(13).index() as u8,
+                        hour: 13,
+                        city: it.city,
+                        gx: it.geo.0,
+                        gy: it.geo.1,
+                    },
+                    true,
+                );
+            }
+        }
+    }
+    // Ranking-head smoke: the top slot agrees on the large majority of
+    // requests (scores within a few percent rarely reorder the head).
+    assert!(
+        head_agree * 10 >= total * 7,
+        "top-1 agreement too low: {head_agree}/{total}"
+    );
+    quant::set_quant(None);
+}
+
+/// A dense-weight write invalidates the touched int8 copies; re-preparing
+/// restores full coverage. Pins the serve-path safety story for online
+/// trainer updates (optimizers go through `ParamStore::value_mut`).
+#[test]
+fn weight_write_invalidates_quant_copy_until_reprepared() {
+    let _guard = SETTINGS.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = WorldConfig::tiny();
+    let world = World::generate(cfg.clone());
+    quant::set_quant(Some(true));
+    let mut pipe = pipeline(&world);
+    let full = pipe.model.params().num_quantized();
+    assert!(full > 0);
+
+    let store = pipe.model.params();
+    let id = store.ids().find(|&i| store.value(i).rows() >= 2).expect("a weight matrix");
+    store.value_mut(id).data_mut()[0] += 0.25;
+    assert_eq!(store.num_quantized(), full - 1, "write must drop exactly the touched copy");
+
+    // Serving still works — the invalidated layer falls back to f32.
+    let mut rng = Prng::seeded(43);
+    let req = Request { uid: 1, day: 0, hour: 12, geo: world.users[1].geo };
+    let out = pipe.serve(&world, req, &mut rng).expect("in-range");
+    assert!(out.iter().all(|e| e.score.is_finite()));
+
+    assert_eq!(pipe.model.params().prepare_quant(), full, "re-prepare restores coverage");
+    quant::set_quant(None);
+}

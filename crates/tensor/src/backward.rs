@@ -7,6 +7,7 @@
 use crate::graph::{stable_sigmoid, Graph, Op, Saved, Var};
 use crate::linalg;
 use crate::pool;
+use crate::simd;
 use crate::tensor::Tensor;
 
 impl Graph {
@@ -95,20 +96,20 @@ impl Graph {
             }
             Op::Mul { a, b } => {
                 if self.needs(a) {
-                    out.push((a, gout.par_zip_map(self.val(b), |g, bv| g * bv)));
+                    out.push((a, gout.par_binary(self.val(b), simd::BinOp::Mul)));
                 }
                 if self.needs(b) {
-                    out.push((b, gout.par_zip_map(self.val(a), |g, av| g * av)));
+                    out.push((b, gout.par_binary(self.val(a), simd::BinOp::Mul)));
                 }
             }
             Op::Div { a, b } => {
                 let bv = self.val(b);
                 if self.needs(a) {
-                    out.push((a, gout.par_zip_map(bv, |g, d| g / d)));
+                    out.push((a, gout.par_binary(bv, simd::BinOp::Div)));
                 }
                 if self.needs(b) {
                     // d(a/b)/db = -a/b^2 = -y/b
-                    let gy = gout.par_zip_map(y, |g, yv| g * yv);
+                    let gy = gout.par_binary(y, simd::BinOp::Mul);
                     out.push((b, gy.par_zip_map(bv, |gy, d| -gy / d)));
                 }
             }
@@ -129,10 +130,7 @@ impl Graph {
                     pool::par_row_blocks(g.data_mut(), n, threads, |i0, block| {
                         let brow = bv.row(0);
                         for (ri, orow) in block.chunks_mut(n).enumerate() {
-                            let grow = gout.row(i0 + ri);
-                            for j in 0..n {
-                                orow[j] = grow[j] * brow[j];
-                            }
+                            simd::binary(simd::BinOp::Mul, orow, gout.row(i0 + ri), brow);
                         }
                     });
                     out.push((a, g));
@@ -170,11 +168,7 @@ impl Graph {
                     let threads = pool::threads_for(m, m * n);
                     pool::par_row_blocks(g.data_mut(), n, threads, |i0, block| {
                         for (ri, orow) in block.chunks_mut(n).enumerate() {
-                            let scale = bv.get(i0 + ri, 0);
-                            let grow = gout.row(i0 + ri);
-                            for j in 0..n {
-                                orow[j] = grow[j] * scale;
-                            }
+                            simd::scale(orow, gout.row(i0 + ri), bv.get(i0 + ri, 0));
                         }
                     });
                     out.push((a, g));
@@ -193,7 +187,7 @@ impl Graph {
             }
             Op::Scale { a, c } => {
                 if self.needs(a) {
-                    out.push((a, gout.par_map(|g| g * c)));
+                    out.push((a, gout.par_scale(c)));
                 }
             }
             Op::AddScalar { a, .. } => {
@@ -358,10 +352,7 @@ impl Graph {
                         for (ri, orow) in block.chunks_mut(n).enumerate() {
                             let r = i0 + ri;
                             for k in 0..times {
-                                let grow = gout.row(r * times + k);
-                                for j in 0..n {
-                                    orow[j] += grow[j];
-                                }
+                                simd::acc(orow, gout.row(r * times + k));
                             }
                         }
                     });
@@ -383,9 +374,7 @@ impl Graph {
                                     continue;
                                 }
                                 let oblk = &mut orow[ti * d..(ti + 1) * d];
-                                for (o, &gv) in oblk.iter_mut().zip(grow.iter()) {
-                                    *o += wt * gv;
-                                }
+                                simd::axpy(oblk, grow, wt);
                             }
                         }
                     });
@@ -422,9 +411,7 @@ impl Graph {
                                     continue;
                                 }
                                 let oblk = &mut orow[o * in_dim..(o + 1) * in_dim];
-                                for (bj, &xj) in oblk.iter_mut().zip(xrow.iter()) {
-                                    *bj += gv * xj;
-                                }
+                                simd::axpy(oblk, xrow, gv);
                             }
                         }
                     });
@@ -443,9 +430,7 @@ impl Graph {
                                     continue;
                                 }
                                 let wblock = &wrow[o * in_dim..(o + 1) * in_dim];
-                                for (oj, &wj) in orow.iter_mut().zip(wblock.iter()) {
-                                    *oj += gv * wj;
-                                }
+                                simd::axpy(orow, wblock, gv);
                             }
                         }
                     });
@@ -467,9 +452,7 @@ impl Graph {
                                     continue;
                                 }
                                 let oblk = &mut orow[i * out_dim..(i + 1) * out_dim];
-                                for (bo, &gv) in oblk.iter_mut().zip(grow.iter()) {
-                                    *bo += xi * gv;
-                                }
+                                simd::axpy(oblk, grow, xi);
                             }
                         }
                     });
@@ -565,10 +548,10 @@ impl Graph {
 fn col_sums(t: &Tensor) -> Tensor {
     let (m, n) = t.shape();
     let mut out = Tensor::zeros_pooled(1, n);
+    // Row order stays serial (fixed accumulation order per column); lanes
+    // split across columns, which are independent accumulators.
     for r in 0..m {
-        for (o, &x) in out.row_mut(0).iter_mut().zip(t.row(r).iter()) {
-            *o += x;
-        }
+        simd::acc(out.row_mut(0), t.row(r));
     }
     out
 }

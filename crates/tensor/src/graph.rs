@@ -20,6 +20,8 @@ use crate::bufpool;
 use crate::linalg;
 use crate::pool;
 use crate::params::{ParamId, ParamStore};
+use crate::quant::QuantMatrix;
+use crate::simd;
 use crate::tensor::Tensor;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -130,6 +132,10 @@ pub struct Graph {
     pub(crate) nodes: Vec<Node>,
     param_cache: HashMap<ParamId, Var>,
     pub(crate) param_of_node: HashMap<usize, ParamId>,
+    /// Inference-only tape: layers may route through kernels that have no
+    /// training semantics (the int8 quantized GEMM). Set by `predict`,
+    /// never by `train_step`; cleared on [`Graph::reset`].
+    inference: bool,
 }
 
 impl Graph {
@@ -178,6 +184,19 @@ impl Graph {
         }
         self.param_cache.clear();
         self.param_of_node.clear();
+        self.inference = false;
+    }
+
+    /// Mark (or unmark) this tape inference-only. Inference tapes may use
+    /// serve-path-only kernels — today that is the opt-in int8 GEMM in
+    /// `nn::Linear` — so `train_step` must never see an inference tape.
+    pub fn set_inference(&mut self, on: bool) {
+        self.inference = on;
+    }
+
+    /// Whether this tape is inference-only (see [`Graph::set_inference`]).
+    pub fn inference(&self) -> bool {
+        self.inference
     }
 
     /// The forward value of `v`.
@@ -254,30 +273,42 @@ impl Graph {
         self.push(Op::Matmul { a: a.0, b: b.0 }, v, rg)
     }
 
+    /// `a · dequant(qw)` through the int8 GEMM (`crate::quant`) — the opt-in
+    /// quantized serve path. `w` must be the f32 parameter node `qw` was
+    /// derived from: the tape records a plain [`Op::Matmul`] on it, so in
+    /// the (unreachable in practice) event backward runs on an inference
+    /// tape, gradients are the straight-through f32 ones.
+    pub fn matmul_quant(&mut self, a: Var, w: Var, qw: &QuantMatrix) -> Var {
+        debug_assert_eq!(self.value(w).shape(), qw.shape(), "matmul_quant: stale QuantMatrix");
+        let v = crate::quant::matmul_quant(self.value(a), qw);
+        let rg = self.rg(a.0) || self.rg(w.0);
+        self.push(Op::Matmul { a: a.0, b: w.0 }, v, rg)
+    }
+
     /// Elementwise sum; shapes must match.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).par_zip_map(self.value(b), |x, y| x + y);
+        let v = self.value(a).par_binary(self.value(b), simd::BinOp::Add);
         let rg = self.rg(a.0) || self.rg(b.0);
         self.push(Op::Add { a: a.0, b: b.0 }, v, rg)
     }
 
     /// Elementwise difference; shapes must match.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).par_zip_map(self.value(b), |x, y| x - y);
+        let v = self.value(a).par_binary(self.value(b), simd::BinOp::Sub);
         let rg = self.rg(a.0) || self.rg(b.0);
         self.push(Op::Sub { a: a.0, b: b.0 }, v, rg)
     }
 
     /// Elementwise (Hadamard) product; shapes must match.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).par_zip_map(self.value(b), |x, y| x * y);
+        let v = self.value(a).par_binary(self.value(b), simd::BinOp::Mul);
         let rg = self.rg(a.0) || self.rg(b.0);
         self.push(Op::Mul { a: a.0, b: b.0 }, v, rg)
     }
 
     /// Elementwise quotient; shapes must match and `b` must be nonzero.
     pub fn div(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).par_zip_map(self.value(b), |x, y| x / y);
+        let v = self.value(a).par_binary(self.value(b), simd::BinOp::Div);
         let rg = self.rg(a.0) || self.rg(b.0);
         self.push(Op::Div { a: a.0, b: b.0 }, v, rg)
     }
@@ -292,10 +323,7 @@ impl Graph {
         let threads = pool::threads_for(m, m * n);
         pool::par_row_blocks(out.data_mut(), n, threads, |i0, block| {
             for (ri, orow) in block.chunks_mut(n).enumerate() {
-                let arow = av.row(i0 + ri);
-                for j in 0..n {
-                    orow[j] = arow[j] + bd[j];
-                }
+                simd::binary(simd::BinOp::Add, orow, av.row(i0 + ri), bd);
             }
         });
         let rg = self.rg(a.0) || self.rg(b.0);
@@ -312,10 +340,7 @@ impl Graph {
         let threads = pool::threads_for(m, m * n);
         pool::par_row_blocks(out.data_mut(), n, threads, |i0, block| {
             for (ri, orow) in block.chunks_mut(n).enumerate() {
-                let arow = av.row(i0 + ri);
-                for j in 0..n {
-                    orow[j] = arow[j] * bd[j];
-                }
+                simd::binary(simd::BinOp::Mul, orow, av.row(i0 + ri), bd);
             }
         });
         let rg = self.rg(a.0) || self.rg(b.0);
@@ -333,10 +358,7 @@ impl Graph {
         pool::par_row_blocks(out.data_mut(), n, threads, |i0, block| {
             for (ri, orow) in block.chunks_mut(n).enumerate() {
                 let r = i0 + ri;
-                let arow = av.row(r);
-                for j in 0..n {
-                    orow[j] = arow[j] + bd[r];
-                }
+                simd::add_scalar(orow, av.row(r), bd[r]);
             }
         });
         let rg = self.rg(a.0) || self.rg(b.0);
@@ -355,10 +377,7 @@ impl Graph {
         pool::par_row_blocks(out.data_mut(), n, threads, |i0, block| {
             for (ri, orow) in block.chunks_mut(n).enumerate() {
                 let r = i0 + ri;
-                let arow = av.row(r);
-                for j in 0..n {
-                    orow[j] = arow[j] * bd[r];
-                }
+                simd::scale(orow, av.row(r), bd[r]);
             }
         });
         let rg = self.rg(a.0) || self.rg(b.0);
@@ -369,14 +388,14 @@ impl Graph {
 
     /// `c * a`.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
-        let v = self.value(a).par_map(|x| c * x);
+        let v = self.value(a).par_scale(c);
         let rg = self.rg(a.0);
         self.push(Op::Scale { a: a.0, c }, v, rg)
     }
 
     /// `a + c`.
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
-        let v = self.value(a).par_map(|x| x + c);
+        let v = self.value(a).par_add_scalar(c);
         let rg = self.rg(a.0);
         self.push(Op::AddScalar { a: a.0, c }, v, rg)
     }
@@ -629,9 +648,7 @@ impl Graph {
                         continue;
                     }
                     let sblock = &srow[ti * d..(ti + 1) * d];
-                    for (o, &s) in orow.iter_mut().zip(sblock.iter()) {
-                        *o += wt * s;
-                    }
+                    simd::axpy(orow, sblock, wt);
                 }
             }
         });
@@ -705,9 +722,7 @@ impl Graph {
                         continue;
                     }
                     let wblock = &wrow[i * out_dim..(i + 1) * out_dim];
-                    for (o, &wio) in orow.iter_mut().zip(wblock.iter()) {
-                        *o += wio * xi;
-                    }
+                    simd::axpy(orow, wblock, xi);
                 }
             }
         });
@@ -864,16 +879,18 @@ pub fn stable_sigmoid(x: f32) -> f32 {
 
 pub(crate) fn softmax_into(input: &[f32], out: &mut [f32]) {
     let max = input.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    // Lane-parallel subtract (exact per element); the exp+sum fold stays
+    // serial because its accumulation order is part of the bitwise contract.
+    simd::sub_scalar(out, input, max);
     let mut sum = 0.0f32;
-    for (o, &x) in out.iter_mut().zip(input.iter()) {
-        let e = (x - max).exp();
+    for o in out.iter_mut() {
+        let e = o.exp();
         *o = e;
         sum += e;
     }
     if sum > 0.0 {
-        for o in out.iter_mut() {
-            *o /= sum;
-        }
+        // One divisor for the whole row — exact per element, lane-safe.
+        simd::div_scalar_inplace(out, sum);
     }
 }
 
@@ -899,9 +916,7 @@ pub(crate) fn masked_softmax_into(input: &[f32], mask: &[f32], out: &mut [f32]) 
         }
     }
     if sum > 0.0 {
-        for o in out.iter_mut() {
-            *o /= sum;
-        }
+        simd::div_scalar_inplace(out, sum);
     }
 }
 

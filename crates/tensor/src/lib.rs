@@ -40,8 +40,10 @@ pub mod optim;
 pub mod packstore;
 pub mod params;
 pub mod pool;
+pub mod quant;
 pub mod serialize;
 pub mod rng;
+pub mod simd;
 pub mod tensor;
 
 pub use graph::{with_graph, Graph, Var};

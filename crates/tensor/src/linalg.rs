@@ -8,7 +8,11 @@
 //! * `matmul_a_bt`   — `C += A  · Bᵀ` (input gradients)
 //!
 //! All kernels use the cache-friendly `i-k-j` loop order so the innermost loop
-//! streams contiguous rows of `B` and `C`, which the compiler auto-vectorizes.
+//! streams contiguous rows of `B` and `C`. Those inner loops run through the
+//! explicit lane-parallel kernels in [`crate::simd`] (`BASM_SIMD=0` forces
+//! the scalar path); lanes map to distinct output elements, so every element
+//! accumulates in the unchanged scalar order and SIMD-vs-scalar is bitwise
+//! identical per mode.
 //! When the `B` operand is too large to sit in cache (see `PACK_MIN_B`),
 //! `matmul`/`matmul_at_b` switch to a packed, cache-blocked kernel: the
 //! `KC x NC` panel of `B` currently in play is copied once into a pooled,
@@ -41,6 +45,7 @@
 
 use crate::bufpool;
 use crate::pool;
+use crate::simd;
 use crate::tensor::Tensor;
 
 /// Rows of `B` per packed panel (`k`-direction block). `KC x NC` floats is
@@ -110,14 +115,12 @@ fn matmul_rows<const INIT: bool>(
         let arow = &ad[i * k..(i + 1) * k];
         for (p, &aip) in arow.iter().enumerate() {
             let brow = &bd[p * n..(p + 1) * n];
+            // Lane-parallel over output columns; each element still sees the
+            // scalar `c + a*b` sequence (see `simd` module docs).
             if INIT && p == 0 {
-                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                    *cv = 0.0 + aip * bv;
-                }
+                simd::axpy_init(crow, brow, aip);
             } else {
-                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                    *cv += aip * bv;
-                }
+                simd::axpy(crow, brow, aip);
             }
         }
     }
@@ -159,13 +162,9 @@ fn matmul_rows_packed<const INIT: bool>(
                     // Each element's first `k` term overall sits at
                     // (kb == 0, p == 0) of its `jb` panel.
                     if INIT && kb == 0 && p == 0 {
-                        for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                            *cv = 0.0 + aip * bv;
-                        }
+                        simd::axpy_init(crow, brow, aip);
                     } else {
-                        for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                            *cv += aip * bv;
-                        }
+                        simd::axpy(crow, brow, aip);
                     }
                 }
             }
@@ -219,9 +218,7 @@ pub fn matmul_acc_sparse(a: &Tensor, b: &Tensor, c: &mut Tensor) {
                     continue;
                 }
                 let brow = &bd[p * n..(p + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                    *cv += aip * bv;
-                }
+                simd::axpy(crow, brow, aip);
             }
         }
     });
@@ -271,13 +268,9 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
             for (ri, &av) in arow[i0..i0 + rows].iter().enumerate() {
                 let crow = &mut block[ri * n..(ri + 1) * n];
                 if p == 0 {
-                    for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                        *cv = 0.0 + av * bv;
-                    }
+                    simd::axpy_init(crow, brow, av);
                 } else {
-                    for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                        *cv += av * bv;
-                    }
+                    simd::axpy(crow, brow, av);
                 }
             }
         }
@@ -287,10 +280,13 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// `C = A · Bᵀ` where `A: [m,k]`, `B: [n,k]`, result `[m,n]`.
 ///
-/// `B`'s rows are already contiguous, so there is nothing to pack; instead
-/// the `j` loop is blocked in `NC`-row chunks of `B` so a panel stays in
-/// cache across every output row. Each output element is a single write of a
-/// self-contained dot product, so blocking cannot change any bit.
+/// Scalar path: `B`'s rows are already contiguous, so there is nothing to
+/// pack; the `j` loop is blocked in `NC`-row chunks of `B` so a panel stays
+/// in cache across every output row, and each output element is a single
+/// write of a self-contained dot product. With SIMD active and a
+/// packing-worthy shape, `B` is transposed once into scratch and the
+/// lane-parallel packed kernel runs instead — same accumulation order per
+/// element, same bits.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = a.shape();
     let (n, k2) = b.shape();
@@ -300,6 +296,28 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let ad = a.data();
     let bd = b.data();
     let threads = pool::threads_for(m, m * k * n);
+    if simd::active_lanes() > 1 && use_packed(m, k, n) {
+        // The dot-product loop below accumulates *within* one element, which
+        // lanes must never split. Instead transpose `B` once into pooled
+        // scratch (row-major `[k,n]`) and reuse the lane-parallel packed
+        // kernel: per output element `acc = 0.0; acc += a·b; ...` and
+        // `c = 0.0 + a·b; c += a·b; ...` are the identical float-op
+        // sequence in the identical `p`-ascending order, so this branch is
+        // bitwise equal to the dot loop (pinned in
+        // `tests/simd_equivalence.rs`).
+        let mut bt = bufpool::acquire_scratch(k * n);
+        for (j, brow) in bd.chunks_exact(k).enumerate() {
+            for (p, &bv) in brow.iter().enumerate() {
+                bt[p * n + j] = bv;
+            }
+        }
+        let btr = &bt;
+        pool::par_row_blocks(c.data_mut(), n, threads, |i0, block| {
+            matmul_rows_packed::<true>(ad, btr, block, i0, k, n);
+        });
+        bufpool::release(bt);
+        return c;
+    }
     pool::par_row_blocks(c.data_mut(), n, threads, |i0, block| {
         let rows = block.len() / n;
         for jb in (0..n).step_by(NC) {

@@ -11,6 +11,14 @@
 //! Sequences are laid out `[batch, seq_len * dim]` (position-major) with a
 //! `[batch, seq_len]` 0/1 mask; padded positions are excluded by masked
 //! softmax.
+//!
+//! These blocks compose graph ops exclusively, so the SIMD kernel layer
+//! (DESIGN.md §14) rides in underneath: the score matmuls run the
+//! lane-parallel micro-kernels and the (masked) softmax's sub-max /
+//! normalize passes run the lane-parallel broadcasts, while the max/sum
+//! folds stay serial. `BASM_SIMD` therefore never moves attention bits —
+//! pinned transitively by `tests/simd_equivalence.rs` and the composite
+//! forward/backward pin in `tests/parallel_determinism.rs`.
 
 use crate::graph::{Graph, Var};
 use crate::nn::linear::Linear;

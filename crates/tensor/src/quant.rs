@@ -1,0 +1,342 @@
+//! Opt-in int8 post-training-quantized scoring (`BASM_QUANT=int8`).
+//!
+//! The classic production trade for real-time CTR serving: the scorer's
+//! dense weights are quantized **once at checkpoint-attach time** to
+//! per-output-channel symmetric int8 ([`QuantMatrix`]), activations are
+//! quantized dynamically per row, and the GEMM runs i8×i8→i32 with an
+//! f32 dequant-fused epilogue (`acc · scale_x · scale_w[j]`). Embedding rows
+//! stay f32 — they are the model's sparse memory, and quantizing them moves
+//! accuracy for no kernel win (the dense GEMMs dominate the serve profile,
+//! see `results/BENCH_memo.json`).
+//!
+//! Scheme, per weight matrix `W [k,n]` (output channel = column `j`):
+//!
+//! * `scale_w[j] = max_p |W[p,j]| / 127`, `Q[p,j] = round(W[p,j] /
+//!   scale_w[j])` clamped to `[-127, 127]` (symmetric, `-128` unused).
+//! * Per activation row `x`: `scale_x = max_j |x[j]| / 127`, same rounding.
+//! * `C[i,j] = (Σ_p qx[p] · Q[p,j]) · scale_x[i] · scale_w[j]` — the i32
+//!   accumulator is exact (`127·127·k` needs `k > 133 000` to overflow; the
+//!   widest dense layer here is ~300), so results are batch- and
+//!   thread-partition-invariant like every other kernel in this crate.
+//!
+//! **Never NaN/Inf:** scales are built from a finite-filtered `amax`, non-
+//! finite weights/activations quantize to `0`/`±127`, and the epilogue is
+//! `finite i32 · finite f32 · finite f32` — so a quantized scorer cannot emit
+//! a non-finite logit even from poisoned inputs (pinned by proptest; composes
+//! with the `rank_top_k` non-finite guard).
+//!
+//! This path is **inference-only and opt-in**: training always sees f32
+//! (`Graph` only routes through [`matmul_quant`] in inference mode, see
+//! `nn/linear.rs`), gradients never flow through it, and any weight mutation
+//! invalidates the prepared [`QuantMatrix`] (see
+//! [`crate::ParamStore::value_mut`]). Accuracy cost is measured, not
+//! assumed: `results/BENCH_quant.json` pins |ΔAUC| < 0.002 vs f32 on the
+//! table4/table7 setups.
+
+use crate::pool;
+use crate::tensor::Tensor;
+use std::sync::atomic::{AtomicI8, Ordering};
+use std::sync::OnceLock;
+
+/// Programmatic override: -1 = follow `BASM_QUANT`, 0 = off, 1 = on.
+static QUANT_OVERRIDE: AtomicI8 = AtomicI8::new(-1);
+
+/// `BASM_QUANT` resolution, computed once. Only `int8` (or `1`/`on`/`true`)
+/// turns the path on; unset means **off** — unlike `BASM_SIMD`, quantization
+/// moves bits by design, so it is opt-in.
+static ENV_QUANT: OnceLock<bool> = OnceLock::new();
+
+fn env_quant() -> bool {
+    *ENV_QUANT.get_or_init(|| match std::env::var("BASM_QUANT") {
+        Ok(v) => matches!(v.trim().to_ascii_lowercase().as_str(), "int8" | "1" | "on" | "true"),
+        Err(_) => false,
+    })
+}
+
+/// Whether the int8 serve path is requested (`BASM_QUANT` / [`set_quant`]).
+#[inline]
+pub fn quant_enabled() -> bool {
+    match QUANT_OVERRIDE.load(Ordering::Relaxed) {
+        -1 => env_quant(),
+        0 => false,
+        _ => true,
+    }
+}
+
+/// Override the runtime toggle (`Some(on)`), or restore the `BASM_QUANT`
+/// default (`None`). Used by `bench_quant` to compare f32 and int8 scoring
+/// within one process.
+pub fn set_quant(on: Option<bool>) {
+    QUANT_OVERRIDE.store(on.map_or(-1, |b| b as i8), Ordering::Relaxed);
+}
+
+/// Test-only guard: serializes tests that toggle the quant override (they
+/// share one process-global atomic), forces it **on**, and restores the
+/// `BASM_QUANT` default when dropped.
+#[cfg(test)]
+pub(crate) fn tests_force_quant() -> impl Drop {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    struct Guard(#[allow(dead_code)] std::sync::MutexGuard<'static, ()>);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            set_quant(None);
+        }
+    }
+    let g = Guard(LOCK.lock().unwrap_or_else(|e| e.into_inner()));
+    set_quant(Some(true));
+    g
+}
+
+/// A dense weight matrix quantized to per-output-channel symmetric int8.
+#[derive(Clone)]
+pub struct QuantMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row-major `[rows, cols]`, same layout as the f32 original.
+    q: Vec<i8>,
+    /// Per-column dequant scale, length `cols`.
+    scales: Vec<f32>,
+}
+
+impl QuantMatrix {
+    /// Quantize `w [k,n]` with one symmetric scale per output column.
+    /// Non-finite entries are excluded from the `amax` fold and quantize to
+    /// `0`; an all-zero (or all-non-finite) column gets scale `0` and
+    /// dequantizes to exact `0.0`.
+    pub fn quantize(w: &Tensor) -> Self {
+        let (rows, cols) = w.shape();
+        let wd = w.data();
+        let mut scales = vec![0.0f32; cols];
+        for row in wd.chunks_exact(cols) {
+            for (s, &v) in scales.iter_mut().zip(row.iter()) {
+                let a = v.abs();
+                if a.is_finite() && a > *s {
+                    *s = a;
+                }
+            }
+        }
+        for s in scales.iter_mut() {
+            *s /= 127.0;
+        }
+        let mut q = vec![0i8; rows * cols];
+        for (qrow, row) in q.chunks_exact_mut(cols).zip(wd.chunks_exact(cols)) {
+            for ((qv, &v), &s) in qrow.iter_mut().zip(row.iter()).zip(scales.iter()) {
+                if s > 0.0 {
+                    // `as i8` saturates and maps NaN to 0; the clamp keeps
+                    // the code point symmetric at ±127 anyway.
+                    *qv = (v / s).round().clamp(-127.0, 127.0) as i8;
+                }
+            }
+        }
+        Self { rows, cols, q, scales }
+    }
+
+    /// `(rows, cols)` of the original matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Per-output-channel dequant scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Quantized code points, row-major.
+    pub fn codes(&self) -> &[i8] {
+        &self.q
+    }
+
+    /// Reconstruct the f32 matrix (`codes · scales`) — test/verification aid.
+    pub fn dequantize(&self) -> Tensor {
+        let mut t = Tensor::zeros(self.rows, self.cols);
+        for (drow, qrow) in t.data_mut().chunks_exact_mut(self.cols).zip(self.q.chunks_exact(self.cols))
+        {
+            for ((d, &qv), &s) in drow.iter_mut().zip(qrow.iter()).zip(self.scales.iter()) {
+                *d = qv as f32 * s;
+            }
+        }
+        t
+    }
+
+    /// Footprint of the quantized representation in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.q.len() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Quantize one activation row symmetrically into `q`, returning the scale.
+/// Non-finite inputs never poison the scale: `NaN → 0`, `±Inf → ±127`.
+pub fn quantize_row(x: &[f32], q: &mut [i8]) -> f32 {
+    debug_assert_eq!(x.len(), q.len());
+    let mut amax = 0.0f32;
+    for &v in x {
+        let a = v.abs();
+        if a.is_finite() && a > amax {
+            amax = a;
+        }
+    }
+    let scale = amax / 127.0;
+    if scale == 0.0 {
+        q.fill(0);
+        return 0.0;
+    }
+    for (qv, &v) in q.iter_mut().zip(x.iter()) {
+        *qv = (v / scale).round().clamp(-127.0, 127.0) as i8;
+    }
+    scale
+}
+
+/// `C = quant(A) · Q` — the int8 serve GEMM. `a [m,k]` is quantized row by
+/// row on the fly; the i8×i8 products accumulate in i32 (exact) and the
+/// epilogue dequantizes with `scale_a[i] · scale_w[j]`. Row-parallel like
+/// every other kernel; integer accumulation makes the result independent of
+/// batch composition and thread partition by construction.
+pub fn matmul_quant(a: &Tensor, w: &QuantMatrix) -> Tensor {
+    let (m, k) = a.shape();
+    assert_eq!(k, w.rows, "matmul_quant: inner dims {k} vs {} (A {m}x{k}, Q {}x{})", w.rows, w.rows, w.cols);
+    let n = w.cols;
+    let _span = basm_obs::span!("tensor.matmul_quant", rows = m, inner = k, cols = n);
+    debug_assert!(k < (i32::MAX / (127 * 127)) as usize, "matmul_quant: k={k} could overflow i32");
+    let mut c = Tensor::scratch_pooled(m, n);
+    let ad = a.data();
+    let threads = pool::threads_for(m, m * k * n);
+    pool::par_row_blocks(c.data_mut(), n, threads, |i0, block| {
+        let mut qx = vec![0i8; k];
+        let mut acc = vec![0i32; n];
+        for (ri, crow) in block.chunks_mut(n).enumerate() {
+            let xrow = &ad[(i0 + ri) * k..(i0 + ri + 1) * k];
+            let sx = quantize_row(xrow, &mut qx);
+            if sx == 0.0 {
+                crow.fill(0.0);
+                continue;
+            }
+            acc.fill(0);
+            for (p, &qv) in qx.iter().enumerate() {
+                if qv == 0 {
+                    continue;
+                }
+                let v = qv as i32;
+                let wrow = &w.q[p * n..(p + 1) * n];
+                for (av, &wq) in acc.iter_mut().zip(wrow.iter()) {
+                    *av += v * wq as i32;
+                }
+            }
+            for ((cv, &av), &sw) in crow.iter_mut().zip(acc.iter()).zip(w.scales.iter()) {
+                *cv = av as f32 * (sx * sw);
+            }
+        }
+    });
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg;
+    use crate::rng::Prng;
+
+    #[test]
+    fn round_trip_error_bounded_by_half_scale() {
+        let mut rng = Prng::seeded(7);
+        let w = rng.randn(40, 13, 2.0);
+        let qm = QuantMatrix::quantize(&w);
+        let back = qm.dequantize();
+        for j in 0..13 {
+            let s = qm.scales()[j];
+            for i in 0..40 {
+                let err = (w.get(i, j) - back.get(i, j)).abs();
+                // round() is to nearest: reconstruction is within scale/2
+                // (plus one ulp of slack for the divide/multiply round trip).
+                assert!(err <= s * 0.5 + s * 1e-5, "err {err} > half-scale {}", s * 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_at_127() {
+        // A column whose max is finite but contains ±Inf: Inf must clamp to
+        // the end of the code book, not poison the scale.
+        let mut w = Tensor::zeros(4, 1);
+        w.data_mut().copy_from_slice(&[1.0, -2.0, f32::INFINITY, f32::NEG_INFINITY]);
+        let qm = QuantMatrix::quantize(&w);
+        assert_eq!(qm.codes()[2], 127);
+        assert_eq!(qm.codes()[3], -127);
+        assert!((qm.scales()[0] - 2.0 / 127.0).abs() < 1e-9);
+        // NaN quantizes to zero.
+        let mut w2 = Tensor::zeros(2, 1);
+        w2.data_mut().copy_from_slice(&[f32::NAN, 3.0]);
+        let q2 = QuantMatrix::quantize(&w2);
+        assert_eq!(q2.codes()[0], 0);
+        assert_eq!(q2.codes()[1], 127);
+    }
+
+    #[test]
+    fn all_zero_column_dequantizes_to_exact_zero() {
+        let w = Tensor::zeros(8, 3);
+        let qm = QuantMatrix::quantize(&w);
+        assert!(qm.scales().iter().all(|&s| s == 0.0));
+        assert!(qm.dequantize().data().iter().all(|&v| v == 0.0));
+        let x = Tensor::ones(2, 8);
+        let c = matmul_quant(&x, &qm);
+        assert!(c.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn quant_gemm_tracks_f32_gemm() {
+        let mut rng = Prng::seeded(11);
+        let x = rng.randn(6, 32, 1.0);
+        let w = rng.randn(32, 9, 0.5);
+        let qm = QuantMatrix::quantize(&w);
+        let exact = linalg::matmul(&x, &w);
+        let quant = matmul_quant(&x, &qm);
+        for (e, q) in exact.data().iter().zip(quant.data().iter()) {
+            // Worst-case relative error of 8-bit symmetric quant on k=32 is
+            // comfortably inside a few percent of the activation·weight
+            // magnitude scale.
+            assert!((e - q).abs() < 0.15, "f32 {e} vs int8 {q}");
+        }
+    }
+
+    #[test]
+    fn quant_gemm_batch_invariant() {
+        // Row i's output must not depend on which rows share the batch —
+        // same property the serving microbatch coalescing relies on.
+        let mut rng = Prng::seeded(13);
+        let x = rng.randn(5, 16, 1.0);
+        let w = rng.randn(16, 7, 1.0);
+        let qm = QuantMatrix::quantize(&w);
+        let full = matmul_quant(&x, &qm);
+        for i in 0..5 {
+            let mut row = Tensor::zeros(1, 16);
+            row.data_mut().copy_from_slice(&x.data()[i * 16..(i + 1) * 16]);
+            let alone = matmul_quant(&row, &qm);
+            assert_eq!(
+                alone.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                full.data()[i * 7..(i + 1) * 7].iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_activations_never_produce_non_finite_output() {
+        let mut rng = Prng::seeded(17);
+        let w = rng.randn(8, 4, 1.0);
+        let qm = QuantMatrix::quantize(&w);
+        let mut x = Tensor::zeros(3, 8);
+        x.data_mut()[0] = f32::NAN;
+        x.data_mut()[9] = f32::INFINITY;
+        x.data_mut()[17] = f32::NEG_INFINITY;
+        let c = matmul_quant(&x, &qm);
+        assert!(c.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn env_override_wins() {
+        let _guard = tests_force_quant();
+        assert!(quant_enabled());
+        set_quant(Some(false));
+        assert!(!quant_enabled());
+        set_quant(Some(true));
+        assert!(quant_enabled());
+    }
+}

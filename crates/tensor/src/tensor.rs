@@ -8,6 +8,7 @@
 
 use crate::bufpool;
 use crate::pool;
+use crate::simd;
 use std::fmt;
 
 /// A dense row-major matrix of `f32` values.
@@ -265,27 +266,63 @@ impl Tensor {
         out
     }
 
+    /// `self <op> other` elementwise through the lane-parallel
+    /// [`crate::simd`] kernels — the explicit-SIMD sibling of
+    /// [`Tensor::par_zip_map`] for the four arithmetic ops. Same parallel
+    /// partitioning, bitwise identical to the closure path per mode.
+    pub fn par_binary(&self, other: &Tensor, op: simd::BinOp) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "par_binary shape mismatch");
+        let mut out = Tensor::scratch_pooled(self.rows, self.cols);
+        let len = self.data.len();
+        let threads = pool::threads_for(len, len);
+        let a = &self.data;
+        let b = &other.data;
+        pool::par_row_blocks(&mut out.data, 1, threads, |i0, block| {
+            let hi = i0 + block.len();
+            simd::binary(op, block, &a[i0..hi], &b[i0..hi]);
+        });
+        out
+    }
+
+    /// `c * self` elementwise through the lane-parallel kernels.
+    pub fn par_scale(&self, c: f32) -> Tensor {
+        let mut out = Tensor::scratch_pooled(self.rows, self.cols);
+        let len = self.data.len();
+        let threads = pool::threads_for(len, len);
+        let a = &self.data;
+        pool::par_row_blocks(&mut out.data, 1, threads, |i0, block| {
+            simd::scale(block, &a[i0..i0 + block.len()], c);
+        });
+        out
+    }
+
+    /// `self + c` elementwise through the lane-parallel kernels.
+    pub fn par_add_scalar(&self, c: f32) -> Tensor {
+        let mut out = Tensor::scratch_pooled(self.rows, self.cols);
+        let len = self.data.len();
+        let threads = pool::threads_for(len, len);
+        let a = &self.data;
+        pool::par_row_blocks(&mut out.data, 1, threads, |i0, block| {
+            simd::add_scalar(block, &a[i0..i0 + block.len()], c);
+        });
+        out
+    }
+
     /// `self += other` elementwise. Shapes must match.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += b;
-        }
+        simd::acc(&mut self.data, &other.data);
     }
 
     /// `self += alpha * other` elementwise (axpy). Shapes must match.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += alpha * b;
-        }
+        simd::axpy(&mut self.data, &other.data, alpha);
     }
 
     /// Multiply every element by `s` in place.
     pub fn scale_inplace(&mut self, s: f32) {
-        for a in &mut self.data {
-            *a *= s;
-        }
+        simd::scale_inplace(&mut self.data, s);
     }
 
     /// Set every element to zero (reusing the allocation).

@@ -9,7 +9,7 @@
 //! parallel code paths) and comparing raw bits.
 
 use basm_tensor::gradcheck::assert_gradients;
-use basm_tensor::{bufpool, linalg, pool};
+use basm_tensor::{bufpool, linalg, pool, simd};
 use basm_tensor::{with_graph, Graph, Prng, Tensor};
 use std::sync::Mutex;
 
@@ -151,6 +151,60 @@ fn pooling_on_off_bitwise_identical() {
     assert_eq!(baseline, run(true, 1), "pool on/off must match serially");
     assert_eq!(baseline, run(true, 4), "pool on/off must match in parallel");
     assert_eq!(baseline, run(false, 4));
+}
+
+/// The explicit-SIMD lanes must be purely a speed knob: with vector kernels
+/// on or off (`BASM_SIMD`, here via the programmatic override), serial or
+/// under 4 threads, every computed bit of the composite forward/backward —
+/// matmul, BN, softmax, fused sequence pooling, meta-linear, BCE and all
+/// their gradients — must be identical. Lanes map to distinct output
+/// elements and no accumulation chain is ever split or contracted (no FMA),
+/// so 8/4/1-lane execution rounds identically per element.
+#[test]
+fn simd_on_off_bitwise_identical() {
+    let _guard = SETTINGS.lock().unwrap();
+    let run = |on: bool, threads: usize| {
+        simd::set_simd(Some(on));
+        let out = with_pool(threads, forward_backward_bits);
+        simd::set_simd(None);
+        out
+    };
+    let baseline = run(false, 1);
+    assert_eq!(baseline, run(true, 1), "simd on/off must match serially");
+    assert_eq!(baseline, run(true, 4), "simd on/off must match in parallel");
+    assert_eq!(baseline, run(false, 4));
+}
+
+/// Same pin for the packed block-major GEMM kernels, including the
+/// SIMD-mode transpose-and-pack path of `matmul_a_bt` (shapes past the
+/// packing threshold with ragged panel edges).
+#[test]
+fn simd_on_off_matmul_kernels_bitwise_identical() {
+    let _guard = SETTINGS.lock().unwrap();
+    let mut rng = Prng::seeded(29);
+    let (m, k, n) = (8, 150, 300);
+    let a = rng.randn(m, k, 1.0);
+    let b = rng.randn(k, n, 1.0);
+    let at = a.transposed();
+    let bt = b.transposed();
+    let run = |on: bool, threads: usize| {
+        simd::set_simd(Some(on));
+        let out = with_pool(threads, || {
+            let mut sparse = Tensor::zeros(m, n);
+            linalg::matmul_acc_sparse(&a, &b, &mut sparse);
+            (
+                bits(&linalg::matmul(&a, &b)),
+                bits(&linalg::matmul_at_b(&at, &b)),
+                bits(&linalg::matmul_a_bt(&a, &bt)),
+                bits(&sparse),
+            )
+        });
+        simd::set_simd(None);
+        out
+    };
+    let scalar = run(false, 1);
+    assert_eq!(scalar, run(true, 1), "simd matmuls must match serially");
+    assert_eq!(scalar, run(true, 4), "simd matmuls must match in parallel");
 }
 
 /// Recycled tapes from [`with_graph`] start logically empty but reuse node

@@ -1,0 +1,261 @@
+//! SIMD-vs-scalar bitwise equivalence (ISSUE: explicit-SIMD kernel layer).
+//!
+//! The `basm_tensor::simd` contract: `BASM_SIMD` moves wall-clock only.
+//! Lanes map to distinct output elements, no accumulation chain is split,
+//! and no FMA contraction is emitted — so 8-lane AVX, 4-lane SSE2 and the
+//! scalar fallback round identically per element. These tests sweep every
+//! remainder-handling edge (`m`, `k`, `n` in `1 ..= 2·MAX_LANES + 1`, i.e.
+//! past two full 8-lane vectors plus a ragged tail) and compare raw bits
+//! between forced-off and forced-on runs of the same computation.
+
+use basm_tensor::{linalg, quant, simd, Graph, Prng, Tensor};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// The SIMD override is process-global; serialize tests that flip it.
+static SETTINGS: Mutex<()> = Mutex::new(());
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Run `f` twice — SIMD forced off, then forced on — and return both results.
+fn scalar_vs_simd<R>(f: impl Fn() -> R) -> (R, R) {
+    let _guard = SETTINGS.lock().unwrap_or_else(|e| e.into_inner());
+    simd::set_simd(Some(false));
+    let scalar = f();
+    simd::set_simd(Some(true));
+    let vector = f();
+    simd::set_simd(None);
+    (scalar, vector)
+}
+
+/// Dimension range covering sub-lane, exactly-one-lane, multi-lane and
+/// ragged-tail shapes for both the 4- and 8-lane backends.
+const DIM_MAX: usize = 2 * simd::MAX_LANES + 1;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All three GEMM entry points, bitwise, across the full remainder grid.
+    #[test]
+    fn matmul_family_simd_matches_scalar(
+        m in 1..=DIM_MAX,
+        k in 1..=DIM_MAX,
+        n in 1..=DIM_MAX,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Prng::seeded(seed + 1);
+        let a = rng.randn(m, k, 1.0);
+        let b = rng.randn(k, n, 1.0);
+        let at = a.transposed();
+        let bt = b.transposed();
+        let (s, v) = scalar_vs_simd(|| {
+            (
+                bits(&linalg::matmul(&a, &b)),
+                bits(&linalg::matmul_at_b(&at, &b)),
+                bits(&linalg::matmul_a_bt(&a, &bt)),
+            )
+        });
+        prop_assert_eq!(s, v);
+    }
+
+    /// Elementwise graph ops (add/sub/mul/div, scale, add_scalar) and the
+    /// broadcast forms (add_row/mul_row/add_col/mul_col), bitwise.
+    #[test]
+    fn elementwise_simd_matches_scalar(
+        m in 1..=DIM_MAX,
+        n in 1..=DIM_MAX,
+        c in -3.0f32..3.0,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Prng::seeded(seed + 7);
+        let x = rng.randn(m, n, 1.0);
+        // Keep divisors away from zero so Div stays finite.
+        let y = rng.randn(m, n, 1.0).par_map(|v| v + v.signum() * 0.5);
+        let row = rng.randn(1, n, 1.0);
+        let col = rng.randn(m, 1, 1.0);
+        let (s, v) = scalar_vs_simd(|| {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let yv = g.input(y.clone());
+            let rv = g.input(row.clone());
+            let cv = g.input(col.clone());
+            let ops = [
+                g.add(xv, yv),
+                g.sub(xv, yv),
+                g.mul(xv, yv),
+                g.div(xv, yv),
+                g.scale(xv, c),
+                g.add_scalar(xv, c),
+                g.add_row(xv, rv),
+                g.mul_row(xv, rv),
+                g.add_col(xv, cv),
+                g.mul_col(xv, cv),
+            ];
+            ops.iter().map(|&o| bits(g.value(o))).collect::<Vec<_>>()
+        });
+        prop_assert_eq!(s, v);
+    }
+
+    /// Softmax (plain and through the composite graph backward), bitwise.
+    /// The max/exp/sum folds stay serial; the sub-max and normalize passes
+    /// are the lanes under test.
+    #[test]
+    fn softmax_and_backward_simd_matches_scalar(
+        m in 1..=DIM_MAX,
+        n in 1..=DIM_MAX,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Prng::seeded(seed + 13);
+        let x = rng.randn(m, n, 2.0);
+        let (s, v) = scalar_vs_simd(|| {
+            let mut g = Graph::new();
+            let xv = g.input_with_grad(x.clone());
+            let sm = g.softmax_rows(xv);
+            let sq = g.square(sm);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            (
+                bits(g.value(sm)),
+                bits(g.grad(xv).expect("softmax input grad")),
+            )
+        });
+        prop_assert_eq!(s, v);
+    }
+
+    /// int8 quantize→dequantize round trip: reconstruction error is bounded
+    /// by half the per-column scale, and the quantized GEMM never emits a
+    /// non-finite value — even when the weight matrix is laced with
+    /// NaN/±Inf (which must saturate to 0/±127, never poison a scale).
+    #[test]
+    fn quant_round_trip_and_never_non_finite(
+        k in 1..=DIM_MAX,
+        n in 1..=DIM_MAX,
+        seed in 0u64..1000,
+        poison in 0usize..4,
+    ) {
+        let mut rng = Prng::seeded(seed + 17);
+        let mut w = rng.randn(k, n, 2.0);
+        // Sprinkle non-finite values on a deterministic stride; `poison == 0`
+        // leaves the matrix clean so both regimes are swept.
+        if poison > 0 {
+            let vals = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY];
+            let len = w.len();
+            for i in (0..len).step_by(5) {
+                w.data_mut()[i] = vals[(i / 5 + poison) % 3];
+            }
+        }
+        let qm = quant::QuantMatrix::quantize(&w);
+        let back = qm.dequantize();
+        for j in 0..n {
+            let s = qm.scales()[j];
+            prop_assert!(s.is_finite());
+            for i in 0..k {
+                let orig = w.get(i, j);
+                if orig.is_finite() {
+                    let err = (orig - back.get(i, j)).abs();
+                    prop_assert!(
+                        err <= s * 0.5 + s * 1e-5,
+                        "({i},{j}): err {err} > half-scale {}", s * 0.5
+                    );
+                } else {
+                    // ±Inf saturates to the end of the code book, NaN → 0.
+                    let q = qm.codes()[i * n + j];
+                    prop_assert!(q == 0 || q == 127 || q == -127);
+                }
+            }
+        }
+        let x = rng.randn(3, k, 1.0);
+        let out = quant::matmul_quant(&x, &qm);
+        prop_assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+
+    /// Saturation is actually exercised: a column holding its own amax
+    /// quantizes that entry to exactly ±127.
+    #[test]
+    fn quant_saturates_at_amax(v in 0.1f32..100.0, neg in proptest::bool::ANY) {
+        let amax = if neg { -v } else { v };
+        let mut w = Tensor::zeros(3, 1);
+        w.data_mut().copy_from_slice(&[amax * 0.3, amax, amax * 0.7]);
+        let qm = quant::QuantMatrix::quantize(&w);
+        prop_assert_eq!(qm.codes()[1], if neg { -127 } else { 127 });
+    }
+}
+
+/// The remainder grid above sits below the dispatcher's wide-slice threshold
+/// (short slices run the scalar loop in both modes by design), so this sweep
+/// pins the *wide* region too: output widths straddling the threshold and
+/// both lane widths' tails, where the AVX/SSE bodies actually execute.
+#[test]
+fn wide_slices_simd_matches_scalar_bitwise() {
+    for n in [63usize, 64, 65, 80, 127, 128, 129, 137, 200] {
+        let mut rng = Prng::seeded(200 + n as u64);
+        let (m, k) = (5, 9);
+        let a = rng.randn(m, k, 1.0);
+        let b = rng.randn(k, n, 1.0);
+        let at = a.transposed();
+        let bt = b.transposed();
+        let sm_in = rng.randn(3, n, 2.0);
+        let (s, v) = scalar_vs_simd(|| {
+            let mut g = Graph::new();
+            let xv = g.input(sm_in.clone());
+            let sm = g.softmax_rows(xv);
+            (
+                bits(&linalg::matmul(&a, &b)),
+                bits(&linalg::matmul_at_b(&at, &b)),
+                bits(&linalg::matmul_a_bt(&a, &bt)),
+                bits(g.value(sm)),
+            )
+        });
+        assert_eq!(s, v, "wide-slice divergence at n={n}");
+    }
+}
+
+/// `matmul_acc_sparse` must produce bitwise-dense results when the "sparse"
+/// input has structural zeros at every packing block boundary — the zero-skip
+/// may only elide work that contributes exact zeros, under both SIMD modes.
+/// Shape chosen past the packing threshold (`m >= 4`, `k·n >= 2^15`) with
+/// zeros planted at the KC=128 / NC=64 panel edges and interior.
+#[test]
+fn sparse_matches_dense_with_structural_zeros_at_block_boundaries() {
+    let (m, k, n) = (8, 260, 130); // k spans 3 KC-panels, n spans 3 NC-panels
+    let mut rng = Prng::seeded(31);
+    let mut a = rng.randn(m, k, 1.0);
+    // Zero full a-columns at the KC boundaries and their neighbors: these
+    // drive the `aip == 0.0 → skip` branch inside the packed micro-kernel.
+    for &p in &[0usize, 1, 126, 127, 128, 129, 255, 256, 259] {
+        for i in 0..m {
+            a.data_mut()[i * k + p] = 0.0;
+        }
+    }
+    // And a mostly-zero row to exercise whole-row skipping.
+    for p in 0..k {
+        if p != 5 {
+            a.data_mut()[3 * k + p] = 0.0;
+        }
+    }
+    let b = rng.randn(k, n, 1.0);
+    let (s, v) = scalar_vs_simd(|| {
+        let mut sparse = Tensor::zeros(m, n);
+        linalg::matmul_acc_sparse(&a, &b, &mut sparse);
+        (bits(&linalg::matmul(&a, &b)), bits(&sparse))
+    });
+    assert_eq!(s.0, s.1, "scalar: sparse kernel must match dense bitwise");
+    assert_eq!(v.0, v.1, "simd: sparse kernel must match dense bitwise");
+    assert_eq!(s, v, "sparse/dense results must not move across SIMD modes");
+}
+
+/// The runtime dispatcher reports a real lane width and the override wins
+/// over the environment in both directions.
+#[test]
+fn lane_detection_and_override() {
+    let _guard = SETTINGS.lock().unwrap_or_else(|e| e.into_inner());
+    let lanes = simd::detected_lanes();
+    assert!(lanes == 1 || lanes == 4 || lanes == 8, "unexpected lane width {lanes}");
+    simd::set_simd(Some(false));
+    assert_eq!(simd::active_lanes(), 1, "forced-off must run scalar");
+    simd::set_simd(Some(true));
+    assert_eq!(simd::active_lanes(), lanes, "forced-on must use detected width");
+    simd::set_simd(None);
+}

@@ -75,6 +75,28 @@ for memo in 0 1; do
     done
 done
 
+# The SIMD kernel layer (DESIGN.md §14) must be a pure dispatch decision:
+# scalar and vector lanes produce the same bits per element, so the tensor
+# determinism/gradcheck suites and the serving equivalence pins have to stay
+# green — and bitwise identical — with the lanes forced off and on, across
+# the thread and pool dimensions the kernels compose with. The int8 serve
+# path is the one knob that is *allowed* to move bits (opt-in, serve-only):
+# its gate is the quantized-serving suite under BASM_QUANT=int8, which pins
+# finite scores, ranking-head agreement with f32, and write-invalidation.
+for simd in 0 1; do
+    for threads in 1 4; do
+        echo "== tier1: basm-tensor tests (BASM_SIMD=$simd, BASM_THREADS=$threads) =="
+        BASM_SIMD=$simd BASM_THREADS=$threads cargo test -q -p basm-tensor --tests
+    done
+    for pool in 0 1; do
+        echo "== tier1: basm-serving tests (BASM_SIMD=$simd, BASM_POOL=$pool, BASM_THREADS=4) =="
+        BASM_SIMD=$simd BASM_POOL=$pool BASM_THREADS=4 \
+            cargo test -q -p basm-serving --tests
+    done
+done
+echo "== tier1: basm-serving int8 smoke (BASM_QUANT=int8) =="
+BASM_QUANT=int8 cargo test -q -p basm-serving --test quant_serving
+
 # The crash-consistency layer (DESIGN.md §13) adds two gates. First the
 # kill-point sweeps: the packstore crash-sweep enumerates "die at IO op k,
 # tear the last write at byte b" over checkpoint/compact/flush and proves
